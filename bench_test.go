@@ -1,0 +1,161 @@
+// Benchmark harness: one testing.B benchmark per evaluation artifact of
+// the paper. Each benchmark regenerates its figure at quick durations
+// and reports the figure's headline quantity as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// re-derives the entire evaluation. The committed full-duration numbers
+// live in EXPERIMENTS.md; use `go run ./cmd/ioctobench -fig all` to
+// regenerate them.
+package ioctopus_test
+
+import (
+	"testing"
+	"time"
+
+	"ioctopus"
+	"ioctopus/internal/core"
+	"ioctopus/internal/experiments"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/topology"
+	"ioctopus/internal/workloads"
+)
+
+// runFigure executes one experiment per benchmark iteration, failing
+// the benchmark if any paper-shape check fails.
+func runFigure(b *testing.B, id string) *experiments.Result {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Checks {
+			if !c.Pass {
+				b.Fatalf("shape check %q failed: %s", c.Name, c.Detail)
+			}
+		}
+		last = res
+	}
+	return last
+}
+
+// BenchmarkFig02Trend regenerates the §2.6 NIC-vs-CPU trend dataset.
+func BenchmarkFig02Trend(b *testing.B) { runFigure(b, "fig2") }
+
+// BenchmarkFig06RxThroughput regenerates Figure 6 (single-core TCP Rx
+// sweep) and reports the local-vs-remote edge at 64 KB.
+func BenchmarkFig06RxThroughput(b *testing.B) {
+	runFigure(b, "fig6")
+	local, remote := measureRxPair(b, 65536)
+	b.ReportMetric(local, "local-Gb/s")
+	b.ReportMetric(remote, "remote-Gb/s")
+	b.ReportMetric(local/remote, "speedup")
+}
+
+// BenchmarkFig06MultiCore regenerates the §5.1.1 multi-core paragraph.
+func BenchmarkFig06MultiCore(b *testing.B) { runFigure(b, "fig6-multicore") }
+
+// BenchmarkFig07TxThroughput regenerates Figure 7 (single-core TCP Tx
+// with TSO).
+func BenchmarkFig07TxThroughput(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkFig08Pktgen regenerates Figure 8 (pktgen packet rates).
+func BenchmarkFig08Pktgen(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig09Latency regenerates Figure 9 (TCP_RR ll/rr/llnd).
+func BenchmarkFig09Latency(b *testing.B) { runFigure(b, "fig9") }
+
+// BenchmarkFig10Memcached regenerates Figure 10 (memcached SET sweep).
+func BenchmarkFig10Memcached(b *testing.B) { runFigure(b, "fig10") }
+
+// BenchmarkFig11QPICongestionRx regenerates Figure 11 (TCP Rx vs STREAM
+// pairs).
+func BenchmarkFig11QPICongestionRx(b *testing.B) { runFigure(b, "fig11") }
+
+// BenchmarkFig12QPICongestionLat regenerates Figure 12 (UDP latency vs
+// STREAM pairs).
+func BenchmarkFig12QPICongestionLat(b *testing.B) { runFigure(b, "fig12") }
+
+// BenchmarkFig13CoLocation regenerates Figure 13 (PageRank co-location).
+func BenchmarkFig13CoLocation(b *testing.B) { runFigure(b, "fig13") }
+
+// BenchmarkFig14Migration regenerates Figure 14 (per-PF throughput
+// across a thread migration).
+func BenchmarkFig14Migration(b *testing.B) { runFigure(b, "fig14") }
+
+// BenchmarkFig15NVMe regenerates Figure 15 (fio vs STREAM on the UPI).
+func BenchmarkFig15NVMe(b *testing.B) { runFigure(b, "fig15") }
+
+// BenchmarkFig15OctoSSD regenerates the §5.4 OctoSSD extension.
+func BenchmarkFig15OctoSSD(b *testing.B) { runFigure(b, "fig15-octossd") }
+
+// BenchmarkAblationWiring regenerates the §3.2 wiring comparison.
+func BenchmarkAblationWiring(b *testing.B) { runFigure(b, "ablation-wiring") }
+
+// BenchmarkAblationIOctoSG regenerates the IOctoSG fragment-steering
+// ablation (§3.3).
+func BenchmarkAblationIOctoSG(b *testing.B) { runFigure(b, "ablation-sg") }
+
+// BenchmarkAblationCoalescing regenerates the interrupt-moderation
+// tradeoff.
+func BenchmarkAblationCoalescing(b *testing.B) { runFigure(b, "ablation-window") }
+
+// measureRxPair runs one local and one remote single-core Rx stream and
+// returns their throughputs (the headline numbers of Figure 6).
+func measureRxPair(b *testing.B, msg int64) (local, remote float64) {
+	b.Helper()
+	run := func(serverCore topology.CoreID) float64 {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+		defer cl.Drain()
+		var received int64
+		cl.Server.Stack.Listen(7, func(s *netstack.Socket) {
+			cl.Server.Kernel.Spawn("srv", serverCore, func(th *kernel.Thread) {
+				s.SetOwner(th)
+				for {
+					n, _, ok := s.Recv(th)
+					if !ok {
+						return
+					}
+					received += n
+				}
+			})
+		})
+		cl.Client.Kernel.Spawn("cli", 0, func(th *kernel.Thread) {
+			sock, err := cl.Client.Stack.Dial(th, core.IPServerPF0, 7, 6)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				sock.Send(th, msg)
+			}
+		})
+		cl.Run(5 * time.Millisecond)
+		base := received
+		window := 15 * time.Millisecond
+		cl.Run(window)
+		return float64(received-base) * 8 / window.Seconds() / 1e9
+	}
+	return run(0), run(14)
+}
+
+// BenchmarkSimulatorEventRate measures the raw simulation speed of the
+// full datapath: simulated-seconds of single-core Rx per wall second.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cl := ioctopus.NewCluster(ioctopus.Config{Mode: ioctopus.ModeIOctopus})
+		w := workloads.StartStream(cl, workloads.StreamConfig{
+			MsgSize: 65536, Direction: workloads.Rx,
+			ServerCores: []topology.CoreID{0}, ServerIP: core.IPServerPF0,
+		})
+		cl.Run(20 * time.Millisecond)
+		if w.Bytes() == 0 {
+			w.MeasureStart()
+		}
+		events := cl.Eng.Executed
+		cl.Drain()
+		b.ReportMetric(float64(events), "events/run")
+	}
+}

@@ -1,0 +1,95 @@
+// Command ioctobench regenerates the paper's evaluation artifacts: one
+// table/series per figure, with shape checks against the published
+// results.
+//
+// Usage:
+//
+//	ioctobench -list
+//	ioctobench -fig fig6
+//	ioctobench -fig all -quick
+//	ioctobench -fig fig14 -o fig14.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ioctopus"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "experiment id (fig2, fig6..fig15, ablation-*), or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quick  = flag.Bool("quick", false, "short measurement windows (smoke run)")
+		out    = flag.String("o", "", "write results to this file instead of stdout")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON (one array of results)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range ioctopus.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: ioctobench -fig <id>|all [-quick] [-o file]; -list for ids")
+		os.Exit(2)
+	}
+
+	d := ioctopus.FullDurations()
+	if *quick {
+		d = ioctopus.QuickDurations()
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = ioctopus.ExperimentIDs()
+	}
+
+	var b strings.Builder
+	var results []*ioctopus.ExperimentResult
+	failed := 0
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		res, err := ioctopus.RunExperiment(id, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		results = append(results, res)
+		b.WriteString(res.Render())
+		b.WriteString("\n")
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if *asJSON {
+		b.Reset()
+		enc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		b.Write(enc)
+		b.WriteByte('\n')
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	} else {
+		fmt.Print(b.String())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing shape checks\n", failed)
+		os.Exit(1)
+	}
+}

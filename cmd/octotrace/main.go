@@ -1,0 +1,80 @@
+// Command octotrace runs the §5.3 thread-migration experiment and emits
+// the per-PF throughput timeline as CSV — the raw data behind Figure 14.
+//
+// Usage:
+//
+//	octotrace -mode octo   > octo.csv
+//	octotrace -mode standard > eth.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ioctopus"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/netstack"
+)
+
+func main() {
+	mode := flag.String("mode", "octo", "octo | standard")
+	seconds := flag.Float64("seconds", 9, "timeline length (simulated seconds)")
+	sample := flag.Duration("sample", 50*time.Millisecond, "sampling period")
+	migrateFrac := flag.Float64("migrate-at", 0.45, "migration point as a fraction of the run")
+	flag.Parse()
+
+	m := ioctopus.ModeIOctopus
+	switch *mode {
+	case "octo":
+	case "standard":
+		m = ioctopus.ModeStandard
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cl := ioctopus.NewCluster(ioctopus.Config{Mode: m})
+	defer cl.Drain()
+
+	var serverThread *kernel.Thread
+	cl.Server.Stack.Listen(7, func(s *netstack.Socket) {
+		serverThread = cl.Server.Kernel.Spawn("netserver", 0, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				if _, _, ok := s.Recv(th); !ok {
+					return
+				}
+			}
+		})
+	})
+	cl.Client.Kernel.Spawn("netperf", 0, func(th *kernel.Thread) {
+		sock, err := cl.Client.Stack.Dial(th, ioctopus.IPServerPF0, 7, eth.ProtoTCP)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			sock.Send(th, 65536)
+		}
+	})
+
+	sampler := metrics.NewSampler(cl.Eng, *sample)
+	pf0 := sampler.TrackRate("pf0", func() float64 { return cl.Server.NIC.PF(0).RxBytes() * 8 / 1e9 })
+	pf1 := sampler.TrackRate("pf1", func() float64 { return cl.Server.NIC.PF(1).RxBytes() * 8 / 1e9 })
+	sampler.Start()
+
+	total := time.Duration(*seconds * float64(time.Second))
+	migrateAt := time.Duration(float64(total) * *migrateFrac)
+	cl.Run(migrateAt)
+	cl.Server.Kernel.SetAffinity(serverThread, cl.Server.Topo.CoresOn(1)[0].ID)
+	fmt.Fprintf(os.Stderr, "migrated netserver to socket 1 at t=%.2fs\n", migrateAt.Seconds())
+	cl.Run(total - migrateAt)
+
+	fmt.Println("time_s,pf0_gbps,pf1_gbps")
+	for i := range pf0.Values {
+		fmt.Printf("%.3f,%.3f,%.3f\n", pf0.Times[i].Seconds(), pf0.Values[i], pf1.Values[i])
+	}
+}

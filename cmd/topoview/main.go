@@ -1,0 +1,58 @@
+// Command topoview prints the simulated hardware topologies: sockets,
+// cores, caches, memory, interconnect, and how the octoNIC's physical
+// functions attach to them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/topology"
+)
+
+func main() {
+	name := flag.String("machine", "broadwell", "broadwell | skylake | quad")
+	flag.Parse()
+
+	var srv *topology.Server
+	switch *name {
+	case "broadwell":
+		srv = topology.DualBroadwell()
+	case "skylake":
+		srv = topology.DualSkylake()
+	case "quad":
+		srv = topology.QuadSocket(12)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *name)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: %d sockets, %d cores\n", srv.Name, srv.NumNodes(), srv.NumCores())
+	fmt.Printf("interconnect: %s, %.1f GB/s per direction per pair, %v base latency\n\n",
+		srv.Interconnect.Name, srv.Interconnect.AggregateBandwidth()/1e9, srv.Interconnect.BaseLatency)
+	for _, sk := range srv.Sockets {
+		fmt.Printf("socket %d:\n", sk.ID)
+		fmt.Printf("  cores %d-%d @ %.1f GHz\n", sk.Cores[0].ID, sk.Cores[len(sk.Cores)-1].ID, sk.Cores[0].FreqGHz)
+		fmt.Printf("  LLC   %d MiB (DDIO %.0f%%, hit %v)\n", sk.LLC.Size>>20, sk.LLC.DDIOFraction*100, sk.LLC.HitLatency)
+		fmt.Printf("  DRAM  %d GiB @ %.0f GB/s, %v latency\n", sk.DRAM.Capacity>>30, sk.DRAM.BytesPerSec/1e9, sk.DRAM.Latency)
+	}
+
+	fmt.Println("\noctoNIC wiring options (x16 Gen3 card):")
+	for _, w := range []pcie.Wiring{pcie.WiringDirect, pcie.WiringBifurcated, pcie.WiringExtender, pcie.WiringSwitch} {
+		lanes := 16
+		pfs := 1
+		note := "single socket (NUDMA for the rest)"
+		switch w {
+		case pcie.WiringBifurcated:
+			lanes, pfs, note = 16/srv.NumNodes(), srv.NumNodes(), "the prototype: one PF per socket"
+		case pcie.WiringExtender:
+			pfs, note = srv.NumNodes(), "full width per socket via extender cabling"
+		case pcie.WiringSwitch:
+			pfs, note = srv.NumNodes(), "programmable switch: flexible, +hop latency"
+		}
+		fmt.Printf("  %-11s %d PF(s) x%d lanes  (%.1f GB/s each) — %s\n",
+			w.String(), pfs, lanes, pcie.LinkBandwidth(pcie.Gen3, lanes)/1e9, note)
+	}
+}

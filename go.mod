@@ -1,0 +1,3 @@
+module ioctopus
+
+go 1.23

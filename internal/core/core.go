@@ -1,0 +1,256 @@
+// Package core assembles the complete IOctopus system — the paper's
+// contribution — out of the substrates: a dual-socket server whose
+// bifurcated 100 Gb/s NIC can run either the standard firmware (two
+// per-PF netdevices, the local/remote baselines) or the IOctopus
+// firmware + octoNIC team driver (one netdevice, one MAC, IOctoRFS
+// steering), wired back-to-back to a client machine, exactly as §5's
+// experimental setup describes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/driver"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/interconnect"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// NICMode selects how the server's bifurcated NIC is presented to the
+// OS (§5, "Evaluated configurations").
+type NICMode int
+
+// Modes.
+const (
+	// ModeStandard runs the shipping firmware: the NIC appears as two
+	// NICs, one per socket. Combined with workload placement this gives
+	// the paper's `local` and `remote` configurations.
+	ModeStandard NICMode = iota
+	// ModeIOctopus flashes the IOctopus firmware and loads the octoNIC
+	// team driver: one netdevice, no NUDMA.
+	ModeIOctopus
+)
+
+// String names the mode.
+func (m NICMode) String() string {
+	switch m {
+	case ModeStandard:
+		return "standard"
+	case ModeIOctopus:
+		return "ioctopus"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Well-known addresses of the testbed.
+const (
+	IPServerPF0 uint32 = 0x0A000001 // 10.0.0.1 — standard netdev on PF0 / octo netdev
+	IPServerPF1 uint32 = 0x0A000002 // 10.0.0.2 — standard netdev on PF1
+	IPClient    uint32 = 0x0A000064 // 10.0.0.100
+)
+
+// Config describes a cluster build.
+type Config struct {
+	// Mode selects the server NIC presentation.
+	Mode NICMode
+	// EnableSG turns on the IOctoSG extension (octo mode only).
+	EnableSG bool
+	// DisableCoalescing zeroes interrupt moderation (latency runs).
+	DisableCoalescing bool
+	// DisableDDIO models the llnd configuration of Figure 9 (both
+	// hosts).
+	DisableDDIO bool
+	// Wiring chooses how the server NIC reaches both sockets; default
+	// bifurcated x16 -> 2 x8 (the prototype).
+	Wiring pcie.Wiring
+	// ServerTopo/ClientTopo override the default dual-Broadwell
+	// machines.
+	ServerTopo *topology.Server
+	ClientTopo *topology.Server
+	// DriverParams overrides the server drivers' defaults (the §2.4
+	// remote-DDIO measurement homes completion rings on the NIC node).
+	DriverParams *driver.Params
+	// Seed drives all randomized workload behaviour.
+	Seed int64
+}
+
+// Host is one assembled machine.
+type Host struct {
+	Name   string
+	Topo   *topology.Server
+	Fabric *interconnect.Fabric
+	Mem    *memsys.System
+	PCIe   *pcie.Fabric
+	Kernel *kernel.Kernel
+	Stack  *netstack.Stack
+	NIC    *nic.NIC
+}
+
+// Cluster is the two-machine testbed.
+type Cluster struct {
+	Eng    *sim.Engine
+	Net    *netstack.Network
+	Server *Host
+	Client *Host
+	Mode   NICMode
+	RNG    *sim.RNG
+
+	// Server-side netdevices. Standard mode: Dev0 on PF0 (node 0) and
+	// Dev1 on PF1 (node 1). Octo mode: Dev0 is the single octo
+	// netdevice and Dev1 is nil.
+	Dev0, Dev1 netstack.NetDevice
+	// Octo is the octoNIC driver when Mode == ModeIOctopus.
+	Octo *driver.Octo
+	// ClientDev is the client's netdevice.
+	ClientDev netstack.NetDevice
+
+	Wire *eth.Wire
+}
+
+// buildHost assembles kernel+memory+pcie+stack for one machine.
+func buildHost(e *sim.Engine, net *netstack.Network, name string, topo *topology.Server, ddio bool) *Host {
+	fab := interconnect.New(e, topo)
+	memParams := memsys.DefaultParams()
+	memParams.DDIO = ddio
+	mem := memsys.New(e, topo, fab, memParams)
+	pc := pcie.New(e, mem, pcie.DefaultParams())
+	k := kernel.New(e, topo, mem, kernel.DefaultParams())
+	st := netstack.NewStack(k, name, net, netstack.DefaultParams())
+	return &Host{
+		Name:   name,
+		Topo:   topo,
+		Fabric: fab,
+		Mem:    mem,
+		PCIe:   pc,
+		Kernel: k,
+		Stack:  st,
+	}
+}
+
+// NewCluster builds the full testbed per the config.
+func NewCluster(cfg Config) *Cluster {
+	e := sim.NewEngine()
+	net := netstack.NewNetwork()
+	if cfg.ServerTopo == nil {
+		cfg.ServerTopo = topology.DualBroadwell()
+	}
+	if cfg.ClientTopo == nil {
+		cfg.ClientTopo = topology.DualBroadwell()
+	}
+	if cfg.Wiring == pcie.WiringDirect {
+		cfg.Wiring = pcie.WiringBifurcated
+	}
+
+	cl := &Cluster{
+		Eng:  e,
+		Net:  net,
+		Mode: cfg.Mode,
+		RNG:  sim.NewRNG(cfg.Seed + 1),
+	}
+	cl.Server = buildHost(e, net, "server", cfg.ServerTopo, !cfg.DisableDDIO)
+	cl.Client = buildHost(e, net, "client", cfg.ClientTopo, !cfg.DisableDDIO)
+
+	nicParams := nic.DefaultParams()
+	if cfg.DisableCoalescing {
+		nicParams.CoalesceDelay = 0
+	}
+
+	// Server NIC: ConnectX-5-like, x16 bifurcated (or alternative
+	// wiring) across both sockets.
+	var serverNodes []topology.NodeID
+	for i := 0; i < cfg.ServerTopo.NumNodes(); i++ {
+		serverNodes = append(serverNodes, topology.NodeID(i))
+	}
+	sEPs := cl.Server.PCIe.AttachCard(pcie.CardConfig{
+		Name: "cx5", Gen: pcie.Gen3, TotalLanes: 16,
+		Wiring: cfg.Wiring, Nodes: serverNodes,
+	})
+	cl.Server.NIC = nic.New(e, cl.Server.Mem, "cx5", sEPs, nicParams)
+
+	// Client NIC: ConnectX-4-like, x16 direct on node 0.
+	cEPs := cl.Client.PCIe.AttachCard(pcie.CardConfig{
+		Name: "cx4", Gen: pcie.Gen3, TotalLanes: 16,
+		Wiring: pcie.WiringDirect, Nodes: []topology.NodeID{0},
+	})
+	cl.Client.NIC = nic.New(e, cl.Client.Mem, "cx4", cEPs, nicParams)
+
+	// Cable them back to back.
+	cl.Wire = eth.NewWire(e, eth.Wire100G("b2b"), cl.Server.NIC, cl.Client.NIC)
+	cl.Server.NIC.AttachWire(cl.Wire)
+	cl.Client.NIC.AttachWire(cl.Wire)
+
+	drvParams := driver.DefaultParams()
+	if cfg.DriverParams != nil {
+		drvParams = *cfg.DriverParams
+	}
+
+	// Client side: always the standard single-PF driver.
+	cl.Client.NIC.LoadFirmware(nic.NewStandardFirmware(cl.Client.NIC))
+	cDrv := driver.NewStandard(cl.Client.Kernel, cl.Client.Mem, cl.Client.NIC.PF(0), "eth0", drvParams)
+	cDrv.Bind(cl.Client.Stack)
+	cl.Client.Stack.AddDevice(cDrv, IPClient)
+	cl.ClientDev = cDrv
+
+	// Server side: mode-dependent.
+	switch cfg.Mode {
+	case ModeStandard:
+		cl.Server.NIC.LoadFirmware(nic.NewStandardFirmware(cl.Server.NIC))
+		d0 := driver.NewStandard(cl.Server.Kernel, cl.Server.Mem, cl.Server.NIC.PF(0), "eth0", drvParams)
+		d0.Bind(cl.Server.Stack)
+		cl.Server.Stack.AddDevice(d0, IPServerPF0)
+		cl.Dev0 = d0
+		if len(cl.Server.NIC.PFs()) > 1 {
+			d1 := driver.NewStandard(cl.Server.Kernel, cl.Server.Mem, cl.Server.NIC.PF(1), "eth1", drvParams)
+			d1.Bind(cl.Server.Stack)
+			cl.Server.Stack.AddDevice(d1, IPServerPF1)
+			cl.Dev1 = d1
+		}
+	case ModeIOctopus:
+		cl.Server.NIC.LoadFirmware(nic.NewOctoFirmware(cl.Server.NIC, cfg.EnableSG))
+		od := driver.NewOcto(cl.Server.Kernel, cl.Server.Mem, cl.Server.NIC, "octo0", drvParams)
+		od.Bind(cl.Server.Stack)
+		cl.Server.Stack.AddDevice(od, IPServerPF0)
+		cl.Dev0 = od
+		cl.Octo = od
+	default:
+		panic(fmt.Sprintf("core: unknown mode %v", cfg.Mode))
+	}
+	return cl
+}
+
+// Run advances the whole cluster by d.
+func (cl *Cluster) Run(d time.Duration) { cl.Eng.RunFor(d) }
+
+// Drain terminates all simulation processes; call once per cluster when
+// done.
+func (cl *Cluster) Drain() { cl.Eng.Drain() }
+
+// FirstCoreOn returns the lowest core id on the given server node
+// (workload pinning helper).
+func (cl *Cluster) FirstCoreOn(node topology.NodeID) topology.CoreID {
+	return cl.Server.Topo.CoresOn(node)[0].ID
+}
+
+// ResetStats zeroes measurement counters on both hosts (after warmup).
+func (cl *Cluster) ResetStats() {
+	for _, h := range []*Host{cl.Server, cl.Client} {
+		h.Mem.ResetStats()
+		h.Fabric.ResetStats()
+		for c := 0; c < h.Kernel.NumCores(); c++ {
+			h.Kernel.Core(topology.CoreID(c)).ResetBusy()
+		}
+		if h.NIC != nil {
+			for _, pf := range h.NIC.PFs() {
+				pf.Endpoint().ResetStats()
+			}
+		}
+	}
+}

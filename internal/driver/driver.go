@@ -1,0 +1,226 @@
+// Package driver implements the NIC drivers of §4.2: a standard per-PF
+// driver (one netdevice per PCIe function, mlx5-style) and the octoNIC
+// driver — the IOctopus mode of the team driver — which presents all
+// PFs as a single netdevice, transmits through the PF local to the
+// sending CPU, and keeps the device's IOctoRFS/MPFS tables in sync with
+// thread placement via an asynchronous kernel worker, with periodic
+// rule expiry.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/device"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/topology"
+)
+
+// Params are driver cost/behaviour constants.
+type Params struct {
+	// NAPIBudget bounds segments per poll.
+	NAPIBudget int
+	// DoorbellCPU is the core-side cost of ringing a doorbell (the
+	// posted write itself; flight time is the device's problem).
+	DoorbellCPU time.Duration
+	// TxFreePerPacket is skb-free cost per packet at Tx completion.
+	TxFreePerPacket time.Duration
+	// MPFSUpdateDelay is the latency of the asynchronous kernel worker
+	// that pushes IOctoRFS/MPFS rule updates to the device (§4.2).
+	MPFSUpdateDelay time.Duration
+	// MPFSUpdateCPU is the worker's per-update CPU cost.
+	MPFSUpdateCPU time.Duration
+	// RuleExpiry ages out steering rules not refreshed for this long;
+	// ExpiryScanPeriod is how often the scanner thread looks.
+	RuleExpiry       time.Duration
+	ExpiryScanPeriod time.Duration
+	// CompRingNode overrides where completion rings are homed
+	// (topology.NoNode = each queue's core node, the default). §2.4's
+	// remote-DDIO measurement allocates response rings local to the
+	// device instead.
+	CompRingNode topology.NodeID
+}
+
+// DefaultParams returns calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		NAPIBudget:       64,
+		CompRingNode:     topology.NoNode,
+		DoorbellCPU:      60 * time.Nanosecond,
+		TxFreePerPacket:  40 * time.Nanosecond,
+		MPFSUpdateDelay:  2 * time.Microsecond,
+		MPFSUpdateCPU:    500 * time.Nanosecond,
+		RuleExpiry:       30 * time.Second,
+		ExpiryScanPeriod: time.Second,
+	}
+}
+
+// queuePair is the per-core queue set a driver owns on some PF.
+type queuePair struct {
+	core   topology.CoreID
+	node   topology.NodeID
+	rx     *nic.RxQueue
+	rxDesc *device.Ring
+	tx     *nic.TxQueue
+}
+
+// base carries the machinery shared by both drivers.
+type base struct {
+	k      *kernel.Kernel
+	name   string
+	params Params
+	stack  *netstack.Stack
+	pairs  []*queuePair // indexed by core id
+}
+
+// Bind attaches the driver to a stack; must be called before traffic
+// flows (drivers deliver received segments into the stack).
+func (b *base) bind(st *netstack.Stack) { b.stack = st }
+
+// Name implements netstack.NetDevice.
+func (b *base) Name() string { return b.name }
+
+// NumTxQueues implements netstack.NetDevice: one queue per core.
+func (b *base) NumTxQueues() int { return len(b.pairs) }
+
+// TxQueueForCore implements netstack.NetDevice (the XPS map): queue i
+// belongs to core i.
+func (b *base) TxQueueForCore(c topology.CoreID) int { return int(c) }
+
+// TxInFlight implements netstack.NetDevice.
+func (b *base) TxInFlight(q int) int {
+	if q < 0 || q >= len(b.pairs) {
+		return 0
+	}
+	return b.pairs[q].tx.InFlight()
+}
+
+// buildQueues creates one rx/tx queue pair per core on the PF chosen
+// by pfFor, with rings and packet buffers homed on the core's node and
+// the interrupt targeted at that core (the paper's "descriptor ring per
+// core with even distribution of interrupts").
+func (b *base) buildQueues(mem *memsys.System, pfFor func(c topology.CoreID) *nic.PF) {
+	topo := b.k.Topology()
+	nicParams := pfFor(0).NIC().Params()
+	for c := 0; c < topo.NumCores(); c++ {
+		core := topology.CoreID(c)
+		node := topo.NodeOf(core)
+		pf := pfFor(core)
+		qp := &queuePair{core: core, node: node}
+
+		compHome := node
+		if b.params.CompRingNode != topology.NoNode {
+			compHome = b.params.CompRingNode
+		}
+		rxComp := device.NewRing(mem, fmt.Sprintf("%s:rxc%d", b.name, c), compHome, nicParams.RxRingEntries, nicParams.DescBytes)
+		qp.rxDesc = device.NewRing(mem, fmt.Sprintf("%s:rxd%d", b.name, c), node, nicParams.RxRingEntries, nicParams.DescBytes)
+		var bufs []*memsys.Buffer
+		for i := 0; i < nicParams.RxBufCount; i++ {
+			bufs = append(bufs, mem.NewBuffer(fmt.Sprintf("%s:rxbuf%d.%d", b.name, c, i), node, nicParams.RxBufBytes))
+		}
+		qp.rx = pf.AddRxQueue(rxComp, bufs, node, func() { b.rxIRQ(qp) })
+
+		txDesc := device.NewRing(mem, fmt.Sprintf("%s:txd%d", b.name, c), node, nicParams.TxRingEntries, nicParams.DescBytes)
+		txComp := device.NewRing(mem, fmt.Sprintf("%s:txc%d", b.name, c), compHome, nicParams.TxRingEntries, nicParams.DescBytes)
+		qp.tx = pf.AddTxQueue(txDesc, txComp, node, func() { b.txIRQ(qp) })
+
+		b.pairs = append(b.pairs, qp)
+	}
+}
+
+// rxIRQ is the Rx interrupt handler: schedule the NAPI poll on the
+// queue's core.
+func (b *base) rxIRQ(qp *queuePair) {
+	b.k.Core(qp.core).IRQ(b.name+":rx", func() time.Duration { return b.napiRx(qp) })
+}
+
+// napiRx is the NAPI poll: reap completions, charge driver+protocol
+// per-packet costs, refill the ring, hand segments to the stack.
+func (b *base) napiRx(qp *queuePair) time.Duration {
+	var cost time.Duration
+	batch := qp.rx.Poll(b.params.NAPIBudget)
+	pkts := 0
+	for _, rxp := range batch {
+		// Read the completion entries the device wrote (the per-packet
+		// LLC-miss of §5.1.1 when the write was remote).
+		cost += qp.rx.CompletionRing().HostRead(qp.node, rxp.Packets)
+		cost += b.stack.RxStackCost(rxp)
+		pkts += rxp.Packets
+		b.stack.DeliverRx(rxp)
+	}
+	if pkts > 0 {
+		// Refill: post fresh buffers for the consumed descriptors.
+		cost += qp.rxDesc.HostWrite(qp.node, pkts)
+	}
+	qp.rx.NapiComplete()
+	return cost
+}
+
+// txIRQ schedules Tx completion cleanup on the queue's core.
+func (b *base) txIRQ(qp *queuePair) {
+	b.k.Core(qp.core).IRQ(b.name+":tx", func() time.Duration { return b.napiTx(qp) })
+}
+
+// napiTx reaps Tx completions: per-packet completion-entry reads and
+// skb frees, then OnSent callbacks.
+func (b *base) napiTx(qp *queuePair) time.Duration {
+	var cost time.Duration
+	for _, pkt := range qp.tx.Reap(b.params.NAPIBudget) {
+		cost += qp.tx.CompletionRing().HostRead(qp.node, pkt.Packets)
+		cost += time.Duration(pkt.Packets) * b.params.TxFreePerPacket
+		if pkt.OnSent != nil {
+			pkt.OnSent()
+		}
+	}
+	qp.tx.NapiComplete()
+	return cost
+}
+
+// xmit runs the common transmit path: descriptor write + doorbell on
+// the caller's core, then the hardware takes over.
+func (b *base) xmit(t *kernel.Thread, pkt *netstack.Packet, txq int) {
+	if txq < 0 || txq >= len(b.pairs) {
+		panic(fmt.Sprintf("driver %s: bad txq %d", b.name, txq))
+	}
+	qp := b.pairs[txq]
+	descs := pkt.Descriptors
+	if descs <= 0 {
+		descs = 1
+	}
+	t.ExecFn(func() time.Duration {
+		cost := qp.tx.DescRing().HostWrite(t.Node(), descs)
+		cost += b.params.DoorbellCPU
+		// Doorbell flight time is charged to the device side below via
+		// MMIOWrite (it also accounts interconnect crossing if remote).
+		return cost
+	})
+	flight := qp.tx.PF().Endpoint().MMIOWrite(t.Node())
+	txPkt := &nic.TxPacket{
+		Payload:     pkt.Payload,
+		Packets:     pkt.Packets,
+		Descriptors: descs,
+		Flow:        pkt.Flow,
+		Dst:         pkt.DstMAC,
+		Meta:        pkt.Meta,
+		OnSent:      pkt.OnSent,
+	}
+	for _, f := range pkt.Frags {
+		txPkt.Frags = append(txPkt.Frags, nic.TxFrag{Buf: f.Buf, Bytes: f.Bytes})
+	}
+	b.k.Engine().After(flight, func() { qp.tx.Post(txPkt) })
+}
+
+// RawTx exposes the queue-level transmit path for in-kernel packet
+// generators (pktgen) that bypass the socket layer.
+func (b *base) RawTx(t *kernel.Thread, pkt *netstack.Packet, txq int) {
+	b.xmit(t, pkt, txq)
+}
+
+// RxQueuePair returns the rx queue serving a core (tests, inspection).
+func (b *base) RxQueueFor(c topology.CoreID) *nic.RxQueue { return b.pairs[c].rx }
+
+// TxQueueObjFor returns the hardware tx queue serving a core.
+func (b *base) TxQueueObjFor(c topology.CoreID) *nic.TxQueue { return b.pairs[c].tx }

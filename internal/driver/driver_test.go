@@ -1,0 +1,270 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/interconnect"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// drvRig assembles a host with a bifurcated NIC and no peer: enough to
+// exercise driver-side behaviour directly.
+type drvRig struct {
+	eng *sim.Engine
+	k   *kernel.Kernel
+	mem *memsys.System
+	nic *nic.NIC
+	st  *netstack.Stack
+	far *sinkPort
+}
+
+type sinkPort struct {
+	mac eth.MAC
+	got []*eth.Frame
+}
+
+func (s *sinkPort) Receive(f *eth.Frame) { s.got = append(s.got, f) }
+func (s *sinkPort) PortMAC() eth.MAC     { return s.mac }
+
+func newDrvRig(t *testing.T) *drvRig {
+	t.Helper()
+	e := sim.NewEngine()
+	topo := topology.DualBroadwell()
+	fab := interconnect.New(e, topo)
+	mem := memsys.New(e, topo, fab, memsys.DefaultParams())
+	pc := pcie.New(e, mem, pcie.DefaultParams())
+	eps := pc.AttachCard(pcie.CardConfig{
+		Name: "cx5", Gen: pcie.Gen3, TotalLanes: 16,
+		Wiring: pcie.WiringBifurcated, Nodes: []topology.NodeID{0, 1},
+	})
+	n := nic.New(e, mem, "cx5", eps, nic.DefaultParams())
+	k := kernel.New(e, topo, mem, kernel.DefaultParams())
+	net := netstack.NewNetwork()
+	st := netstack.NewStack(k, "host", net, netstack.DefaultParams())
+	far := &sinkPort{mac: eth.MACFromInt(0xFA5)}
+	n.AttachWire(eth.NewWire(e, eth.Wire100G("w"), n, far))
+	return &drvRig{eng: e, k: k, mem: mem, nic: n, st: st, far: far}
+}
+
+func TestStandardDriverQueueLayout(t *testing.T) {
+	r := newDrvRig(t)
+	r.nic.LoadFirmware(nic.NewStandardFirmware(r.nic))
+	d := NewStandard(r.k, r.mem, r.nic.PF(0), "eth0", DefaultParams())
+	d.Bind(r.st)
+	if d.NumTxQueues() != 28 {
+		t.Fatalf("tx queues = %d, want one per core", d.NumTxQueues())
+	}
+	// Queue i serves core i; its rings live on core i's node.
+	for c := 0; c < 28; c++ {
+		q := d.RxQueueFor(topology.CoreID(c))
+		wantNode := r.k.Topology().NodeOf(topology.CoreID(c))
+		if q.CompletionRing().Buffer().Home() != wantNode {
+			t.Fatalf("core %d completion ring homed on %d, want %d",
+				c, q.CompletionRing().Buffer().Home(), wantNode)
+		}
+		if q.IRQNode() != wantNode {
+			t.Fatalf("core %d irq targets node %d, want %d", c, q.IRQNode(), wantNode)
+		}
+	}
+	// All queues belong to PF0 under the standard driver.
+	if len(r.nic.PF(0).RxQueues()) != 28 || len(r.nic.PF(1).RxQueues()) != 0 {
+		t.Fatal("standard driver must put every queue on its own PF")
+	}
+	e := r.eng
+	e.Drain()
+}
+
+func TestOctoDriverQueuesAreSocketLocal(t *testing.T) {
+	r := newDrvRig(t)
+	r.nic.LoadFirmware(nic.NewOctoFirmware(r.nic, false))
+	d := NewOcto(r.k, r.mem, r.nic, "octo0", DefaultParams())
+	d.Bind(r.st)
+	// 14 queues per PF: each core's queue lives on its local PF.
+	if len(r.nic.PF(0).RxQueues()) != 14 || len(r.nic.PF(1).RxQueues()) != 14 {
+		t.Fatalf("queue split = %d/%d, want 14/14",
+			len(r.nic.PF(0).RxQueues()), len(r.nic.PF(1).RxQueues()))
+	}
+	for c := 0; c < 28; c++ {
+		tx := d.TxQueueObjFor(topology.CoreID(c))
+		if tx.PF().Node() != r.k.Topology().NodeOf(topology.CoreID(c)) {
+			t.Fatalf("core %d tx queue on PF node %d", c, tx.PF().Node())
+		}
+	}
+	r.eng.Drain()
+}
+
+func TestOctoSteerFlowGoesThroughAsyncWorker(t *testing.T) {
+	r := newDrvRig(t)
+	fw := nic.NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	d := NewOcto(r.k, r.mem, r.nic, "octo0", DefaultParams())
+	d.Bind(r.st)
+	ft := eth.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: eth.ProtoTCP}
+	d.SteerFlow(ft, 20) // core 20 = node 1
+	// The device table write is asynchronous: not yet applied.
+	if fw.FlowCount() != 0 {
+		t.Fatal("MPFS update should be deferred to the worker")
+	}
+	r.eng.RunFor(time.Millisecond)
+	if fw.FlowCount() != 1 {
+		t.Fatal("worker did not apply the update")
+	}
+	if d.UpdatesApplied() != 1 {
+		t.Fatalf("updates applied = %d", d.UpdatesApplied())
+	}
+	// Steering the same flow to the same place refreshes without a new
+	// device write.
+	d.SteerFlow(ft, 21) // same node -> same PF+queue? no: queue differs per core
+	r.eng.RunFor(time.Millisecond)
+	if d.UpdatesApplied() != 2 {
+		t.Fatalf("cross-core same-node steer should still update queue: %d", d.UpdatesApplied())
+	}
+	d.SteerFlow(ft, 21) // identical: refresh only
+	r.eng.RunFor(time.Millisecond)
+	if d.UpdatesApplied() != 2 {
+		t.Fatal("identical steer must not push a device update")
+	}
+	r.eng.Drain()
+}
+
+func TestOctoRuleExpiry(t *testing.T) {
+	r := newDrvRig(t)
+	fw := nic.NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	params := DefaultParams()
+	params.RuleExpiry = 5 * time.Millisecond
+	params.ExpiryScanPeriod = time.Millisecond
+	d := NewOcto(r.k, r.mem, r.nic, "octo0", params)
+	d.Bind(r.st)
+	ft := eth.FiveTuple{SrcIP: 9, DstIP: 8, SrcPort: 7, DstPort: 6, Proto: eth.ProtoTCP}
+	d.SteerFlow(ft, 0)
+	r.eng.RunFor(2 * time.Millisecond)
+	if fw.FlowCount() != 1 || d.RuleCount() != 1 {
+		t.Fatal("rule not installed")
+	}
+	r.eng.RunFor(20 * time.Millisecond)
+	if fw.FlowCount() != 0 || d.RuleCount() != 0 {
+		t.Fatalf("stale rule not expired: fw=%d drv=%d", fw.FlowCount(), d.RuleCount())
+	}
+	if d.RulesExpired() != 1 {
+		t.Fatalf("expired = %d", d.RulesExpired())
+	}
+	r.eng.Drain()
+}
+
+func TestOctoExpireNowDeterministic(t *testing.T) {
+	r := newDrvRig(t)
+	fw := nic.NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	params := DefaultParams()
+	params.RuleExpiry = time.Nanosecond
+	d := NewOcto(r.k, r.mem, r.nic, "octo0", params)
+	d.Bind(r.st)
+	for p := uint16(0); p < 50; p++ {
+		d.SteerFlow(eth.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: p, DstPort: 4, Proto: eth.ProtoTCP}, 0)
+	}
+	r.eng.RunFor(time.Millisecond)
+	d.ExpireNow()
+	if d.RuleCount() != 0 {
+		t.Fatalf("rules left: %d", d.RuleCount())
+	}
+	r.eng.Drain()
+}
+
+func TestBondHashesFlowsAcrossMembers(t *testing.T) {
+	r := newDrvRig(t)
+	r.nic.LoadFirmware(nic.NewStandardFirmware(r.nic))
+	d0 := NewStandard(r.k, r.mem, r.nic.PF(0), "eth0", DefaultParams())
+	d1 := NewStandard(r.k, r.mem, r.nic.PF(1), "eth1", DefaultParams())
+	d0.Bind(r.st)
+	d1.Bind(r.st)
+	bond := NewBond("bond0", d0, d1)
+	if bond.HWAddr() != d0.HWAddr() {
+		t.Fatal("bond should adopt the first member's MAC")
+	}
+	// The member is a pure function of the flow hash: the host cannot
+	// re-steer a flow between members (the §2.5 argument).
+	hits := map[string]int{}
+	for p := uint16(0); p < 64; p++ {
+		ft := eth.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: p, DstPort: 80, Proto: eth.ProtoTCP}
+		hits[bond.member(ft).Name()]++
+		if bond.member(ft) != bond.member(ft) {
+			t.Fatal("member must be stable per flow")
+		}
+	}
+	if hits["eth0"] == 0 || hits["eth1"] == 0 {
+		t.Fatalf("bond did not spread flows: %v", hits)
+	}
+	r.eng.Drain()
+}
+
+func TestBondXmitDelegates(t *testing.T) {
+	r := newDrvRig(t)
+	r.nic.LoadFirmware(nic.NewStandardFirmware(r.nic))
+	d0 := NewStandard(r.k, r.mem, r.nic.PF(0), "eth0", DefaultParams())
+	d1 := NewStandard(r.k, r.mem, r.nic.PF(1), "eth1", DefaultParams())
+	d0.Bind(r.st)
+	d1.Bind(r.st)
+	bond := NewBond("bond0", d0, d1)
+	buf := r.mem.NewBuffer("p", 0, 1500)
+	done := 0
+	r.k.Spawn("tx", 0, func(th *kernel.Thread) {
+		for p := uint16(0); p < 8; p++ {
+			bond.Xmit(th, &netstack.Packet{
+				Flow:    eth.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: p, DstPort: 80, Proto: eth.ProtoTCP},
+				DstMAC:  r.far.mac,
+				Payload: 1500, Packets: 1,
+				Frags: []netstack.Frag{{Buf: buf, Bytes: 1500}},
+			}, bond.TxQueueForCore(0))
+			done++
+		}
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	if done != 8 {
+		t.Fatalf("xmit loop incomplete: %d", done)
+	}
+	if len(r.far.got) != 8 {
+		t.Fatalf("frames at far end = %d, want 8", len(r.far.got))
+	}
+	// Both PFs transmitted (flows hash across members).
+	if r.nic.PF(0).TxBytes() == 0 || r.nic.PF(1).TxBytes() == 0 {
+		t.Fatalf("tx split = %v/%v", r.nic.PF(0).TxBytes(), r.nic.PF(1).TxBytes())
+	}
+	r.eng.Drain()
+}
+
+func TestDriverTxInFlightTracksPostedWork(t *testing.T) {
+	r := newDrvRig(t)
+	r.nic.LoadFirmware(nic.NewStandardFirmware(r.nic))
+	d := NewStandard(r.k, r.mem, r.nic.PF(0), "eth0", DefaultParams())
+	d.Bind(r.st)
+	buf := r.mem.NewBuffer("p", 0, 64*1024)
+	r.k.Spawn("tx", 0, func(th *kernel.Thread) {
+		d.Xmit(th, &netstack.Packet{
+			Flow:    eth.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 1, DstPort: 80, Proto: eth.ProtoTCP},
+			DstMAC:  r.far.mac,
+			Payload: 64 * 1024, Packets: 44,
+			Frags: []netstack.Frag{{Buf: buf, Bytes: 64 * 1024}},
+		}, 0)
+	})
+	r.eng.RunFor(5 * time.Microsecond)
+	if d.TxInFlight(0) != 1 {
+		t.Fatalf("in flight = %d during transmit", d.TxInFlight(0))
+	}
+	r.eng.RunFor(10 * time.Millisecond)
+	if d.TxInFlight(0) != 0 {
+		t.Fatalf("in flight = %d after completion reap", d.TxInFlight(0))
+	}
+	if d.TxInFlight(-1) != 0 || d.TxInFlight(999) != 0 {
+		t.Fatal("out-of-range queue should report 0")
+	}
+	r.eng.Drain()
+}

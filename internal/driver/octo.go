@@ -1,0 +1,212 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// Octo is the octoNIC driver (§4.2): the IOctopus mode of the team
+// driver. It presents the whole multi-PF device as ONE netdevice with
+// one MAC and one IP. Each core's queue pair lives on the PF local to
+// that core's node, so:
+//
+//   - transmits go through the PCIe endpoint local to the sending CPU
+//     (the XPS map composed with per-core queues guarantees it);
+//   - the ARFS callback becomes an IOctoRFS update: the flow's MPFS
+//     rule moves to the PF (and queue) local to the thread's new core,
+//     pushed to the device asynchronously by a kernel worker;
+//   - a scanner thread periodically expires stale rules, as the Linux
+//     ARFS implementation does.
+type Octo struct {
+	base
+	nic *nic.NIC
+
+	// rxSlot[core] = the queue index of that core's rx queue *within
+	// its PF* (IOctoRFS rules name per-PF queues).
+	rxSlot []int
+	pfIdx  []int // per-core PF index
+
+	updates *sim.Queue[steerUpdate]
+	rules   map[eth.FiveTuple]*steerRule
+
+	updatesPushed  uint64
+	updatesApplied uint64
+	rulesExpired   uint64
+}
+
+type steerUpdate struct {
+	ft        eth.FiveTuple
+	pf, queue int
+}
+
+type steerRule struct {
+	pf, queue int
+	refreshed sim.Time
+}
+
+var _ netstack.NetDevice = (*Octo)(nil)
+
+// NewOcto builds the octoNIC driver over a multi-PF NIC running the
+// IOctopus firmware. Every node must have a PF (that is the octoNIC
+// wiring contract).
+func NewOcto(k *kernel.Kernel, mem *memsys.System, n *nic.NIC, name string, params Params) *Octo {
+	d := &Octo{
+		base:  base{k: k, name: name, params: params},
+		nic:   n,
+		rules: make(map[eth.FiveTuple]*steerRule),
+	}
+	topo := k.Topology()
+	perPFCount := make(map[int]int)
+	pfByNode := make(map[topology.NodeID]*nic.PF)
+	for _, pf := range n.PFs() {
+		pfByNode[pf.Node()] = pf
+	}
+	for c := 0; c < topo.NumCores(); c++ {
+		node := topo.NodeOf(topology.CoreID(c))
+		pf, ok := pfByNode[node]
+		if !ok {
+			panic(fmt.Sprintf("driver %s: octoNIC has no PF on node %d", name, node))
+		}
+		d.pfIdx = append(d.pfIdx, pf.Index())
+		d.rxSlot = append(d.rxSlot, perPFCount[pf.Index()])
+		perPFCount[pf.Index()]++
+	}
+	d.buildQueues(mem, func(c topology.CoreID) *nic.PF {
+		return n.PF(d.pfIdx[c])
+	})
+	d.updates = sim.NewQueue[steerUpdate](k.Engine(), 0)
+	d.startWorker()
+	d.startExpiryScanner()
+	return d
+}
+
+// Bind attaches the driver to the host stack.
+func (d *Octo) Bind(st *netstack.Stack) { d.bind(st) }
+
+// HWAddr implements netstack.NetDevice: the device's single MAC.
+func (d *Octo) HWAddr() eth.MAC { return d.nic.MAC() }
+
+// NIC returns the managed device.
+func (d *Octo) NIC() *nic.NIC { return d.nic }
+
+// Xmit implements netstack.NetDevice. Because queue txq belongs to core
+// txq and that core's queue pair sits on its local PF, transmission is
+// always through the PCIe endpoint local to the sending CPU.
+func (d *Octo) Xmit(t *kernel.Thread, pkt *netstack.Packet, txq int) {
+	d.xmit(t, pkt, txq)
+}
+
+// SteerFlow implements netstack.NetDevice: the IOctoRFS update. The
+// mapping to (PF, queue) is computed here; the device table write is
+// pushed through the asynchronous kernel worker (§4.2: "the MPFS table
+// is updated asynchronously by a separate kernel worker thread").
+func (d *Octo) SteerFlow(ft eth.FiveTuple, core topology.CoreID) {
+	pf, queue := d.pfIdx[core], d.rxSlot[core]
+	now := d.k.Engine().Now()
+	if r, ok := d.rules[ft]; ok {
+		r.refreshed = now
+		if r.pf == pf && r.queue == queue {
+			return // already steered correctly; just refreshed
+		}
+		r.pf, r.queue = pf, queue
+	} else {
+		d.rules[ft] = &steerRule{pf: pf, queue: queue, refreshed: now}
+	}
+	d.updatesPushed++
+	d.updates.ForcePut(steerUpdate{ft: ft, pf: pf, queue: queue})
+}
+
+// UpdatesApplied returns device table writes completed by the worker.
+func (d *Octo) UpdatesApplied() uint64 { return d.updatesApplied }
+
+// RulesExpired returns rules removed by the expiry scanner.
+func (d *Octo) RulesExpired() uint64 { return d.rulesExpired }
+
+// RuleCount returns driver-side rule table occupancy.
+func (d *Octo) RuleCount() int { return len(d.rules) }
+
+// startWorker launches the MPFS update worker thread (pinned to core 0,
+// as an unbound kworker would typically land).
+func (d *Octo) startWorker() {
+	d.k.Spawn(d.name+":mpfs-worker", 0, func(t *kernel.Thread) {
+		for {
+			u, ok := d.updates.Get(t.Proc())
+			if !ok {
+				return
+			}
+			t.Sleep(d.params.MPFSUpdateDelay)
+			t.Exec(d.params.MPFSUpdateCPU)
+			if fw := d.nic.Firmware(); fw != nil {
+				fw.ProgramFlow(u.ft, u.pf, u.queue)
+			}
+			d.updatesApplied++
+		}
+	})
+}
+
+// startExpiryScanner launches the periodic rule reaper.
+func (d *Octo) startExpiryScanner() {
+	d.k.Spawn(d.name+":rule-expiry", 0, func(t *kernel.Thread) {
+		for {
+			t.Sleep(d.params.ExpiryScanPeriod)
+			now := t.Now()
+			expired := d.expiredRules(now)
+			for _, ft := range expired {
+				delete(d.rules, ft)
+				d.rulesExpired++
+				if fw := d.nic.Firmware(); fw != nil {
+					fw.RemoveFlow(ft)
+				}
+				t.Exec(d.params.MPFSUpdateCPU)
+			}
+		}
+	})
+}
+
+// ExpireNow forces one expiry scan pass at the current instant (tests
+// and manual administration).
+func (d *Octo) ExpireNow() {
+	for _, ft := range d.expiredRules(d.k.Engine().Now()) {
+		delete(d.rules, ft)
+		d.rulesExpired++
+		if fw := d.nic.Firmware(); fw != nil {
+			fw.RemoveFlow(ft)
+		}
+	}
+}
+
+// expiredRules returns stale rules in a deterministic order (map
+// iteration order would leak into event ordering otherwise).
+func (d *Octo) expiredRules(now sim.Time) []eth.FiveTuple {
+	var expired []eth.FiveTuple
+	for ft, r := range d.rules {
+		if now.Sub(r.refreshed) > d.params.RuleExpiry {
+			expired = append(expired, ft)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		a, b := expired[i], expired[j]
+		if a.SrcIP != b.SrcIP {
+			return a.SrcIP < b.SrcIP
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstIP != b.DstIP {
+			return a.DstIP < b.DstIP
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
+	return expired
+}

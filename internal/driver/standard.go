@@ -1,0 +1,62 @@
+package driver
+
+import (
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/topology"
+)
+
+// Standard is the shipping vendor driver: it manages ONE physical
+// function and presents it as an independent netdevice with its own MAC
+// and IP. On a bifurcated NIC the OS therefore sees two NICs (Figure
+// 5a/b) — the configuration whose NUDMA behaviour the paper measures as
+// `local`/`remote`.
+type Standard struct {
+	base
+	pf *nic.PF
+}
+
+var _ netstack.NetDevice = (*Standard)(nil)
+
+// NewStandard builds the per-PF driver: a queue pair per core (on every
+// core of the machine, as the testbed configures), rings and buffers
+// homed on each queue's core.
+func NewStandard(k *kernel.Kernel, mem *memsys.System, pf *nic.PF, name string, params Params) *Standard {
+	d := &Standard{
+		base: base{k: k, name: name, params: params},
+		pf:   pf,
+	}
+	d.buildQueues(mem, func(topology.CoreID) *nic.PF { return pf })
+	return d
+}
+
+// Bind attaches the driver to the host stack.
+func (d *Standard) Bind(st *netstack.Stack) { d.bind(st) }
+
+// HWAddr implements netstack.NetDevice: the PF's own MAC.
+func (d *Standard) HWAddr() eth.MAC { return d.pf.MAC() }
+
+// PF returns the managed physical function.
+func (d *Standard) PF() *nic.PF { return d.pf }
+
+// Xmit implements netstack.NetDevice. The standard driver can only
+// transmit through its own PF — if the sender's CPU is remote to it,
+// every descriptor, doorbell and payload read crosses the interconnect.
+func (d *Standard) Xmit(t *kernel.Thread, pkt *netstack.Packet, txq int) {
+	d.xmit(t, pkt, txq)
+}
+
+// SteerFlow implements netstack.NetDevice: the ARFS path. The rule can
+// only choose a queue within this PF; it cannot move the flow to
+// another PCIe function, which is exactly why the standard architecture
+// cannot escape NUDMA (§2.3).
+func (d *Standard) SteerFlow(ft eth.FiveTuple, core topology.CoreID) {
+	fw := d.pf.NIC().Firmware()
+	if fw == nil {
+		return
+	}
+	fw.ProgramFlow(ft, d.pf.Index(), int(core))
+}

@@ -1,0 +1,184 @@
+// Package eth models the Ethernet substrate: MAC addresses, IP flow
+// 5-tuples, frames (simulated at segment granularity with explicit
+// packet counts), point-to-point wires, a learning switch, and the link
+// aggregation (bonding) baseline the paper argues cannot solve NUDMA
+// (§2.5).
+package eth
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/sim"
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// String formats the MAC conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MACFromInt derives a locally administered MAC from an integer id.
+func MACFromInt(id uint64) MAC {
+	return MAC{0x02, byte(id >> 32), byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// Broadcast is the broadcast MAC.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Protocol numbers used by the flow 5-tuple.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// FiveTuple uniquely identifies an IP flow (§2.3, footnote 1).
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		SrcIP: ft.DstIP, DstIP: ft.SrcIP,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// String formats the tuple.
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%d:%d>%d:%d/%d", ft.SrcIP, ft.SrcPort, ft.DstIP, ft.DstPort, ft.Proto)
+}
+
+// Hash returns a stable flow hash (FNV-1a over the tuple), used for RSS
+// and bonding hash policies.
+func (ft FiveTuple) Hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(ft.SrcIP >> (8 * i)))
+		mix(byte(ft.DstIP >> (8 * i)))
+	}
+	mix(byte(ft.SrcPort))
+	mix(byte(ft.SrcPort >> 8))
+	mix(byte(ft.DstPort))
+	mix(byte(ft.DstPort >> 8))
+	mix(ft.Proto)
+	return h
+}
+
+// MTU is the wire MTU used throughout (standard 1500-byte Ethernet).
+const MTU = 1500
+
+// HeaderBytes approximates per-packet Ethernet+IP+TCP header overhead.
+const HeaderBytes = 66
+
+// Frame is a unit of traffic on the wire. To keep event counts
+// tractable the simulation moves "segments": a frame may represent up
+// to a TSO window of MTU-sized packets; Packets says how many, and
+// per-packet costs on both ends are charged per packet.
+type Frame struct {
+	Src, Dst MAC
+	Flow     FiveTuple
+	// Payload is application bytes carried.
+	Payload int64
+	// Packets is how many wire packets this segment represents.
+	Packets int
+	// Seq is a per-flow sequence number for ordering checks.
+	Seq uint64
+	// SentAt timestamps wire entry, for latency measurement.
+	SentAt sim.Time
+	// Meta carries simulation-side context (e.g. message ids).
+	Meta any
+}
+
+// WireBytes returns the frame's size on the wire including per-packet
+// header overhead.
+func (f *Frame) WireBytes() int64 {
+	n := f.Packets
+	if n <= 0 {
+		n = 1
+	}
+	return f.Payload + int64(n)*HeaderBytes
+}
+
+// SegmentPackets returns how many MTU packets carry `payload` bytes.
+func SegmentPackets(payload int64) int {
+	if payload <= 0 {
+		return 1
+	}
+	n := (payload + MTU - 1) / MTU
+	return int(n)
+}
+
+// Port is anything that can receive frames: a NIC port or a switch
+// port.
+type Port interface {
+	// Receive ingests a frame; called when the last bit arrives.
+	Receive(f *Frame)
+	// PortMAC is the primary address of the port (switch learning).
+	PortMAC() MAC
+}
+
+// Wire is a point-to-point full-duplex cable. Each direction is an
+// independent bandwidth pipe.
+type Wire struct {
+	eng  *sim.Engine
+	a, b Port
+	ab   *sim.Pipe
+	ba   *sim.Pipe
+}
+
+// WireConfig configures a cable.
+type WireConfig struct {
+	Name        string
+	BytesPerSec float64
+	Latency     time.Duration
+}
+
+// Wire100G returns the standard config for a 100GbE cable.
+func Wire100G(name string) WireConfig {
+	return WireConfig{Name: name, BytesPerSec: 12.5e9, Latency: 300 * time.Nanosecond}
+}
+
+// NewWire connects two ports back to back.
+func NewWire(e *sim.Engine, cfg WireConfig, a, b Port) *Wire {
+	mk := func(suffix string) *sim.Pipe {
+		return sim.NewPipe(e, sim.PipeConfig{
+			Name:        cfg.Name + suffix,
+			BytesPerSec: cfg.BytesPerSec,
+			BaseLatency: cfg.Latency,
+		})
+	}
+	return &Wire{eng: e, a: a, b: b, ab: mk(":a>b"), ba: mk(":b>a")}
+}
+
+// Send transmits a frame from the given side; it is delivered to the
+// other end after serialization + propagation.
+func (w *Wire) Send(from Port, f *Frame) {
+	f.SentAt = w.eng.Now()
+	switch from {
+	case w.a:
+		w.ab.Transfer(f.WireBytes(), func() { w.b.Receive(f) })
+	case w.b:
+		w.ba.Transfer(f.WireBytes(), func() { w.a.Receive(f) })
+	default:
+		panic("eth: Send from a port not on this wire")
+	}
+}
+
+// Utilization returns the utilization of the direction out of `from`.
+func (w *Wire) Utilization(from Port) float64 {
+	if from == w.a {
+		return w.ab.Utilization()
+	}
+	return w.ba.Utilization()
+}

@@ -1,0 +1,108 @@
+package eth
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/sim"
+)
+
+// Switch is a learning Ethernet switch: frames are forwarded to the
+// port that last sourced the destination MAC, flooded otherwise. It
+// supports static link-aggregation groups (EtherChannel / 802.3ad) whose
+// member selection hashes the flow 5-tuple — the §2.5 bonding baseline,
+// which deliberately gives the server no way to steer a flow to a
+// particular member link.
+type Switch struct {
+	eng     *sim.Engine
+	name    string
+	latency time.Duration
+	ports   []*switchPort
+	fdb     map[MAC]int // MAC -> port index (or LAG id via lagOf)
+	lags    map[int][]int
+	lagOf   map[int]int // member port -> LAG id
+	flooded uint64
+}
+
+type switchPort struct {
+	sw   *Switch
+	idx  int
+	wire *Wire
+}
+
+// Receive ingests a frame arriving at this switch port.
+func (p *switchPort) Receive(f *Frame) { p.sw.forward(p.idx, f) }
+
+// PortMAC returns a per-port switch address (not used for forwarding).
+func (p *switchPort) PortMAC() MAC { return MACFromInt(uint64(0x5157)<<16 | uint64(p.idx)) }
+
+// NewSwitch builds a switch with the given forwarding latency.
+func NewSwitch(e *sim.Engine, name string, latency time.Duration) *Switch {
+	return &Switch{
+		eng:     e,
+		name:    name,
+		latency: latency,
+		fdb:     make(map[MAC]int),
+		lags:    make(map[int][]int),
+		lagOf:   make(map[int]int),
+	}
+}
+
+// Connect cables a device port to the switch with the given wire config
+// and returns the switch port index.
+func (s *Switch) Connect(cfg WireConfig, dev Port) int {
+	p := &switchPort{sw: s, idx: len(s.ports)}
+	p.wire = NewWire(s.eng, cfg, p, dev)
+	s.ports = append(s.ports, p)
+	return p.idx
+}
+
+// ConnectWire is Connect returning the cable itself, so the device side
+// can transmit on it (a NIC needs its wire handle).
+func (s *Switch) ConnectWire(cfg WireConfig, dev Port) *Wire {
+	return s.ports[s.Connect(cfg, dev)].wire
+}
+
+// AggregateLinks forms a LAG from member ports; traffic to a MAC learned
+// on any member is distributed over the members by flow hash.
+func (s *Switch) AggregateLinks(id int, members []int) {
+	s.lags[id] = append([]int(nil), members...)
+	for _, m := range members {
+		s.lagOf[m] = id
+	}
+}
+
+// forward implements learning + forwarding.
+func (s *Switch) forward(inPort int, f *Frame) {
+	s.fdb[f.Src] = inPort
+	s.eng.After(s.latency, func() {
+		out, ok := s.fdb[f.Dst]
+		if !ok || f.Dst == Broadcast {
+			s.flooded++
+			for i, p := range s.ports {
+				if i == inPort {
+					continue
+				}
+				cp := *f
+				p.wire.Send(p, &cp)
+			}
+			return
+		}
+		if lag, ok := s.lagOf[out]; ok {
+			members := s.lags[lag]
+			out = members[int(f.Flow.Hash())%len(members)]
+		}
+		s.ports[out].wire.Send(s.ports[out], f)
+	})
+}
+
+// Flooded returns how many frames were flooded (unknown destination).
+func (s *Switch) Flooded() uint64 { return s.flooded }
+
+// Ports returns the number of connected ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// String describes the switch.
+func (s *Switch) String() string {
+	return fmt.Sprintf("switch %s (%d ports, %d LAGs)", s.name, len(s.ports), len(s.lags))
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/sim"
+)
+
+// TestEveryFigureReproduces runs every experiment at quick durations and
+// requires all paper-shape checks to pass. This is the repository's
+// headline test: the full evaluation section, end to end.
+func TestEveryFigureReproduces(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Checks) == 0 {
+				t.Fatal("experiment has no shape checks")
+			}
+			for _, c := range res.Checks {
+				if !c.Pass {
+					t.Errorf("check %q failed: %s", c.Name, c.Detail)
+				}
+			}
+			if !strings.Contains(res.Render(), res.ID) {
+				t.Error("render should include the id")
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 12 {
+		t.Fatalf("expected at least 12 experiments, have %d: %v", len(ids), ids)
+	}
+	want := []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "x", Title: "t"}
+	r.check("in band", 1.0, 0.5, 1.5)
+	r.check("out of band", 2.0, 0.5, 1.5)
+	if r.Passed() {
+		t.Error("Passed should be false with a failing check")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Errorf("render missing statuses:\n%s", out)
+	}
+}
+
+func TestResultJSON(t *testing.T) {
+	res, err := Run("fig2", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(enc, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["id"] != "fig2" || decoded["passed"] != true {
+		t.Fatalf("json = %v", decoded)
+	}
+	if _, ok := decoded["tables"].([]any); !ok {
+		t.Fatal("tables missing from json")
+	}
+}
+
+func TestSeriesRenderUsesSparkline(t *testing.T) {
+	r := &Result{ID: "x", Title: "t"}
+	s := &metrics.Series{Name: "pf0"}
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i*1000), float64(i))
+	}
+	r.Series = append(r.Series, s)
+	out := r.Render()
+	if !strings.Contains(out, "█") {
+		t.Fatalf("render should contain sparkline glyphs:\n%s", out)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"ioctopus/internal/eth"
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/workloads"
+)
+
+func init() {
+	register("fig11", runFig11)
+	register("fig12", runFig12)
+}
+
+// runFig11 reproduces Figure 11: single-core TCP Rx co-located with
+// 1..6 pairs of STREAM antagonists saturating the interconnect. Both
+// configurations suffer, but ioct/local keeps 1.8-2.7x remote's
+// throughput.
+func runFig11(d Durations) *Result {
+	r := &Result{ID: "fig11", Title: "TCP Rx under QPI congestion: 1-6 STREAM pairs (Fig 11)"}
+	t := metrics.NewTable("Figure 11",
+		"pairs", "ioct Gb/s", "remote Gb/s", "ratio", "ioct memGb/s", "remote memGb/s", "ioct cpu", "remote cpu")
+	var maxRatio float64
+	var ratioAt4 float64
+	for pairs := 1; pairs <= 6; pairs++ {
+		ioct := measureStream(cfgIOct, 65536, workloads.Rx, 1, pairs, d)
+		remote := measureStream(cfgRemote, 65536, workloads.Rx, 1, pairs, d)
+		rr := ratio(ioct.Gbps, remote.Gbps)
+		t.AddRow(pairs, ioct.Gbps, remote.Gbps, rr, ioct.MemGbps, remote.MemGbps, ioct.CPU, remote.CPU)
+		if rr > maxRatio {
+			maxRatio = rr
+		}
+		if pairs == 4 {
+			ratioAt4 = rr
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	// Paper annotations: 1.82x, 2.67x, 2.17x.
+	r.check("peak ioct/remote under congestion (paper up to 2.67)", maxRatio, 1.6, 3.4)
+	r.check("ratio at 4 pairs (paper ~1.8-2.7)", ratioAt4, 1.4, 3.4)
+	return r
+}
+
+// runFig12 reproduces Figure 12: 64-byte UDP (sockperf) latency under
+// the same STREAM congestion. The remote configuration's latency grows
+// with interconnect load; ioct/local stays flat.
+func runFig12(d Durations) *Result {
+	r := &Result{ID: "fig12", Title: "UDP latency under QPI congestion: 1-6 STREAM pairs (Fig 12)"}
+	t := metrics.NewTable("Figure 12 (mean one-way-equivalent RTT us)",
+		"pairs", "ioct us", "remote us", "ioct/remote")
+	var ioct1, ioct6, remote1, remote6 float64
+	for pairs := 1; pairs <= 6; pairs++ {
+		ioct := measureRR(cfgIOct, 64, eth.ProtoUDP, true, pairs, d)
+		remote := measureRR(cfgRemote, 64, eth.ProtoUDP, true, pairs, d)
+		iU := ioct.Mean().Seconds() * 1e6
+		rU := remote.Mean().Seconds() * 1e6
+		t.AddRow(pairs, iU, rU, ratio(iU, rU))
+		switch pairs {
+		case 1:
+			ioct1, remote1 = iU, rU
+		case 6:
+			ioct6, remote6 = iU, rU
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	// Paper: ioct 10-22% lower latency (ratios 0.90/0.81/0.78); remote
+	// grows with congestion while ioct stays flat.
+	r.check("ioct/remote latency at 6 pairs (paper ~0.78)", ratio(ioct6, remote6), 0.45, 0.92)
+	// Pool-granularity pollution modelling lets ioct grow slightly at
+	// extreme STREAM counts where the paper's stays flat; the claim
+	// that matters — ioct insensitive while remote balloons — holds.
+	r.check("ioct latency near-flat across congestion", ratio(ioct6, ioct1), 0.9, 1.25)
+	r.checkTrue("remote latency grows with congestion", remote6 > remote1*1.05,
+		"remote mean grew with STREAM pairs")
+	return r
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"ioctopus/internal/eth"
+	"ioctopus/internal/metrics"
+)
+
+var rrSizes = []int64{1, 64, 256, 1024, 4096, 16384, 65536}
+
+func init() { register("fig9", runFig9) }
+
+// runFig9 reproduces Figure 9: netperf TCP_RR latency with NUDMA on the
+// critical path (rr) normalized to without (ll), plus the llnd
+// configuration (DDIO disabled on both hosts) that isolates the QPI
+// crossing cost from the DDIO loss.
+func runFig9(d Durations) *Result {
+	r := &Result{ID: "fig9", Title: "TCP_RR latency: rr and llnd normalized to ll (Fig 9)"}
+	t := metrics.NewTable("Figure 9 (RTT)",
+		"msg", "ll us", "rr us", "llnd us", "rr/ll", "llnd/ll", "rr/ll p99")
+	var sumRR, sumND, sumP99 float64
+	var maxRR float64
+	for _, msg := range rrSizes {
+		ll := measureRR(cfgLocal, msg, eth.ProtoTCP, true, 0, d)
+		rr := measureRR(cfgRemote, msg, eth.ProtoTCP, true, 0, d)
+		nd := measureRR(cfgLocal, msg, eth.ProtoTCP, false, 0, d)
+		llU := ll.Mean().Seconds() * 1e6
+		rrU := rr.Mean().Seconds() * 1e6
+		ndU := nd.Mean().Seconds() * 1e6
+		p99 := ratio(rr.Hist.Percentile(99).Seconds(), ll.Hist.Percentile(99).Seconds())
+		t.AddRow(msg, llU, rrU, ndU, ratio(rrU, llU), ratio(ndU, llU), p99)
+		sumRR += ratio(rrU, llU)
+		sumND += ratio(ndU, llU)
+		sumP99 += p99
+		if ratio(rrU, llU) > maxRR {
+			maxRR = ratio(rrU, llU)
+		}
+	}
+	n := float64(len(rrSizes))
+	r.Tables = append(r.Tables, t)
+	// Paper: rr adds 10-25% over ll; llnd (pure QPI cost) adds 5-15%.
+	r.check("mean rr/ll across sizes (paper 1.10-1.25)", sumRR/n, 1.05, 1.30)
+	r.check("max rr/ll (paper up to ~1.25)", maxRR, 1.08, 1.45)
+	r.check("mean llnd/ll across sizes (paper 1.05-1.15)", sumND/n, 1.02, 1.25)
+	// "The 90th and 99th percentile latency behaves similarly" (§5.1.2).
+	r.check("p99 rr/ll tracks the mean", (sumP99/n)/(sumRR/n), 0.85, 1.2)
+	r.Notes = append(r.Notes,
+		"llnd isolates interconnect crossing cost: even with remote DDIO, IOctopus would still remove this")
+	return r
+}

@@ -1,0 +1,181 @@
+// Package kernel models the operating system layer the paper modifies:
+// cores that execute work run-to-completion (threads, softirqs and
+// deferred work FIFO-share a core), kernel threads with affinity, the
+// scheduler's thread migration (sched_setaffinity) with migration hooks
+// — the notification path that drives ARFS and IOctoRFS updates — and
+// NUMA-aware memory allocation.
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// Params are OS cost constants.
+type Params struct {
+	// IRQEntry is the cost of taking a hardware interrupt.
+	IRQEntry time.Duration
+	// ContextSwitch is the cost of a thread context switch (charged on
+	// wakeups that preempt and on migrations).
+	ContextSwitch time.Duration
+	// WakeupLatency is scheduling delay from wake to run when the
+	// target core is idle.
+	WakeupLatency time.Duration
+}
+
+// DefaultParams returns calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		IRQEntry:      300 * time.Nanosecond,
+		ContextSwitch: 1200 * time.Nanosecond,
+		WakeupLatency: 500 * time.Nanosecond,
+	}
+}
+
+// Kernel is the OS instance of one simulated host.
+type Kernel struct {
+	eng    *sim.Engine
+	topo   *topology.Server
+	mem    *memsys.System
+	params Params
+	cores  []*Core
+
+	migrateHooks []func(t *Thread, from, to topology.CoreID)
+	nextTID      int
+}
+
+// New boots a kernel on the given hardware.
+func New(e *sim.Engine, topo *topology.Server, mem *memsys.System, params Params) *Kernel {
+	k := &Kernel{eng: e, topo: topo, mem: mem, params: params}
+	for i := 0; i < topo.NumCores(); i++ {
+		c := &Core{
+			k:    k,
+			id:   topology.CoreID(i),
+			node: topo.NodeOf(topology.CoreID(i)),
+		}
+		c.queue = sim.NewQueue[coreWork](e, 0)
+		k.cores = append(k.cores, c)
+		c.start()
+	}
+	return k
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Memory returns the host memory system.
+func (k *Kernel) Memory() *memsys.System { return k.mem }
+
+// Topology returns the hardware description.
+func (k *Kernel) Topology() *topology.Server { return k.topo }
+
+// Params returns the OS cost constants.
+func (k *Kernel) Params() Params { return k.params }
+
+// Core returns a core handle.
+func (k *Kernel) Core(id topology.CoreID) *Core {
+	if int(id) < 0 || int(id) >= len(k.cores) {
+		panic(fmt.Sprintf("kernel: no core %d", id))
+	}
+	return k.cores[id]
+}
+
+// NumCores returns the core count.
+func (k *Kernel) NumCores() int { return len(k.cores) }
+
+// Alloc allocates a buffer on the given NUMA node (the first-touch /
+// local allocation policy production kernels use, §2.1).
+func (k *Kernel) Alloc(name string, node topology.NodeID, size int64) *memsys.Buffer {
+	return k.mem.NewBuffer(name, node, size)
+}
+
+// OnMigrate registers a hook invoked after a thread migrates between
+// cores; the network stack uses it for the ARFS flow-steering callback.
+func (k *Kernel) OnMigrate(hook func(t *Thread, from, to topology.CoreID)) {
+	k.migrateHooks = append(k.migrateHooks, hook)
+}
+
+// coreWork is one unit of work on a core's run queue. run executes when
+// the core picks it up and returns how long the core is occupied; done
+// (optional) fires when that time has elapsed.
+type coreWork struct {
+	name string
+	run  func() time.Duration
+	done func()
+}
+
+// Core is one CPU core: a FIFO run queue consumed run-to-completion.
+// Interleaving threads, softirq and worker items by FIFO approximates
+// the preemptive scheduler closely enough for throughput accounting
+// while keeping the model deterministic.
+type Core struct {
+	k     *Kernel
+	id    topology.CoreID
+	node  topology.NodeID
+	queue *sim.Queue[coreWork]
+	busy  time.Duration
+}
+
+// ID returns the core id.
+func (c *Core) ID() topology.CoreID { return c.id }
+
+// Node returns the core's NUMA node.
+func (c *Core) Node() topology.NodeID { return c.node }
+
+// BusyTime returns accumulated execution time.
+func (c *Core) BusyTime() time.Duration { return c.busy }
+
+// ResetBusy zeroes the busy-time integral (measurement windows).
+func (c *Core) ResetBusy() { c.busy = 0 }
+
+// QueueLen returns the number of work items waiting.
+func (c *Core) QueueLen() int { return c.queue.Len() }
+
+// start launches the core's dispatch loop.
+func (c *Core) start() {
+	c.k.eng.Go(fmt.Sprintf("core%d", c.id), func(p *sim.Proc) {
+		for {
+			w, ok := c.queue.Get(p)
+			if !ok {
+				return
+			}
+			d := w.run()
+			if d < 0 {
+				d = 0
+			}
+			c.busy += d
+			p.Sleep(d)
+			if w.done != nil {
+				// Fire completions from engine context so they can
+				// resume other processes without nesting handoffs.
+				c.k.eng.After(0, w.done)
+			}
+		}
+	})
+}
+
+// Submit enqueues work whose duration is computed when it starts
+// running (so memory-system charges happen at execution time). done
+// fires when it completes.
+func (c *Core) Submit(name string, run func() time.Duration, done func()) {
+	c.queue.ForcePut(coreWork{name: name, run: run, done: done})
+}
+
+// SubmitFixed enqueues work of a known duration.
+func (c *Core) SubmitFixed(name string, d time.Duration, done func()) {
+	c.Submit(name, func() time.Duration { return d }, done)
+}
+
+// IRQ delivers a hardware interrupt to this core: the handler runs at
+// queue-head priority after the IRQ entry cost. Interrupts preempt in
+// real kernels; FIFO placement is close enough at the interrupt rates
+// the model produces (coalesced NAPI).
+func (c *Core) IRQ(name string, handler func() time.Duration) {
+	c.Submit("irq:"+name, func() time.Duration {
+		return c.k.params.IRQEntry + handler()
+	}, nil)
+}

@@ -1,0 +1,312 @@
+// Package netstack models the kernel network stack the paper's driver
+// plugs into: sockets with a TCP-like segmentation/windowing model and a
+// UDP model, Transmit Packet Steering (XPS) with the ooo_okay queue-
+// switch rule, the Accelerated RFS callback fired on thread migration,
+// and the netdevice abstraction drivers implement.
+//
+// Traffic is simulated at segment granularity (up to a 64 KB TSO/GRO
+// window per event) with per-packet CPU costs charged arithmetically —
+// the granularity at which the paper's evaluation reasons — while all
+// memory, PCIe and interconnect traffic flows through the hardware
+// models underneath. Connection setup (handshake/ARP) is control-plane
+// work the paper never measures and is performed instantaneously; the
+// data path is fully simulated.
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/topology"
+)
+
+// Params are stack cost constants, calibrated so the Broadwell testbed's
+// absolute throughputs come out near the paper's (§5.1).
+type Params struct {
+	// Syscall is the per-call entry/exit cost of send/recv.
+	Syscall time.Duration
+	// TCPTxSegment is per-segment transmit stack work (TSO path).
+	TCPTxSegment time.Duration
+	// TCPTxPerPacket is the per-wire-packet transmit cost.
+	TCPTxPerPacket time.Duration
+	// TCPRxPerPacket is the per-packet receive protocol cost.
+	TCPRxPerPacket time.Duration
+	// NAPIPerPacket is the per-packet driver poll cost (softirq side).
+	NAPIPerPacket time.Duration
+	// UDPPerPacket is the per-packet cost of the UDP paths.
+	UDPPerPacket time.Duration
+	// AckLatency approximates the ACK round trip for window opening.
+	AckLatency time.Duration
+	// SendWindow bounds unacknowledged in-flight bytes per socket.
+	SendWindow int64
+	// RxBufBytes bounds undelivered payload per socket (the receive
+	// buffer); TCP's window keeps in-flight below it, while UDP
+	// arrivals beyond it are dropped.
+	RxBufBytes int64
+	// TSO is the max segment handed to the device in one descriptor;
+	// zero disables TSO (per-MTU segments).
+	TSO int64
+	// UserBufBytes sizes each socket's user-space buffer.
+	UserBufBytes int64
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		Syscall:        300 * time.Nanosecond,
+		TCPTxSegment:   700 * time.Nanosecond,
+		TCPTxPerPacket: 80 * time.Nanosecond,
+		TCPRxPerPacket: 150 * time.Nanosecond,
+		NAPIPerPacket:  180 * time.Nanosecond,
+		UDPPerPacket:   450 * time.Nanosecond,
+		AckLatency:     10 * time.Microsecond,
+		SendWindow:     4 << 20,
+		RxBufBytes:     8 << 20,
+		TSO:            64 * 1024,
+		UserBufBytes:   64 * 1024,
+	}
+}
+
+// Frag is one fragment of an outgoing packet.
+type Frag struct {
+	Buf   *memsys.Buffer
+	Bytes int64
+}
+
+// Packet is the stack's skb: an outgoing segment handed to a netdevice.
+type Packet struct {
+	Flow    eth.FiveTuple
+	DstMAC  eth.MAC
+	Payload int64
+	Packets int
+	// Descriptors the driver posts for the segment (default 1).
+	Descriptors int
+	Frags       []Frag
+	Proto       uint8
+	Meta        any
+	// OnSent fires when the driver reaps the Tx completion.
+	OnSent func()
+	// OOOOkay reports the old queue drained, allowing an XPS queue
+	// switch without reordering (§2.3, §4.2).
+	OOOOkay bool
+}
+
+// NetDevice is the driver-facing netdevice interface (the slice of
+// net_device_ops the model needs).
+type NetDevice interface {
+	// Name is the interface name (eth0, octo0...).
+	Name() string
+	// HWAddr is the interface MAC.
+	HWAddr() eth.MAC
+	// NumTxQueues returns the transmit queue count.
+	NumTxQueues() int
+	// TxQueueForCore is the driver's XPS mapping.
+	TxQueueForCore(c topology.CoreID) int
+	// TxInFlight returns descriptors outstanding on a queue (drives the
+	// ooo_okay decision).
+	TxInFlight(q int) int
+	// Xmit hands a segment to the driver on the chosen queue. The
+	// calling thread is charged the driver-side CPU costs.
+	Xmit(t *kernel.Thread, pkt *Packet, txq int)
+	// SteerFlow is ndo_rx_flow_steer: steer the arriving flow toward
+	// the given core (ARFS; IOctoRFS on the octo driver).
+	SteerFlow(ft eth.FiveTuple, core topology.CoreID)
+}
+
+// Stack is one host's network stack instance.
+type Stack struct {
+	k      *kernel.Kernel
+	name   string
+	net    *Network
+	params Params
+
+	devs     []NetDevice
+	devIPs   map[NetDevice]uint32
+	ipDevs   map[uint32]NetDevice
+	sockets  map[eth.FiveTuple]*Socket
+	sockList []*Socket // creation order, for deterministic iteration
+	listens  map[uint16]func(s *Socket)
+
+	nextPort uint16
+
+	rxSegments uint64
+	rxDrops    uint64
+}
+
+// NewStack boots a stack on a kernel and registers it on the network.
+func NewStack(k *kernel.Kernel, name string, net *Network, params Params) *Stack {
+	st := &Stack{
+		k:        k,
+		name:     name,
+		net:      net,
+		params:   params,
+		devIPs:   make(map[NetDevice]uint32),
+		ipDevs:   make(map[uint32]NetDevice),
+		sockets:  make(map[eth.FiveTuple]*Socket),
+		listens:  make(map[uint16]func(*Socket)),
+		nextPort: 40000,
+	}
+	// The ARFS callback: after a thread migrates, re-steer the flows of
+	// every socket it owns toward its new core (§2.3). The kernel
+	// invokes this only after the old queue is drained in Linux; the
+	// model's delivery path is in-order per flow, so steering updates
+	// cannot reorder.
+	k.OnMigrate(func(t *kernel.Thread, from, to topology.CoreID) {
+		for _, s := range st.sockList {
+			if s.owner == t && st.sockets[s.ft] == s {
+				s.dev.SteerFlow(s.ft.Reverse(), to)
+			}
+		}
+	})
+	net.register(st)
+	return st
+}
+
+// Name returns the host name.
+func (st *Stack) Name() string { return st.name }
+
+// Kernel returns the owning kernel.
+func (st *Stack) Kernel() *kernel.Kernel { return st.k }
+
+// Params returns the stack's cost constants.
+func (st *Stack) Params() Params { return st.params }
+
+// AddDevice registers a netdevice with an IP address.
+func (st *Stack) AddDevice(dev NetDevice, ip uint32) {
+	st.devs = append(st.devs, dev)
+	st.devIPs[dev] = ip
+	st.ipDevs[ip] = dev
+	st.net.addIP(ip, st, dev)
+}
+
+// Devices returns the registered netdevices.
+func (st *Stack) Devices() []NetDevice { return st.devs }
+
+// DeviceIP returns a device's address.
+func (st *Stack) DeviceIP(dev NetDevice) uint32 { return st.devIPs[dev] }
+
+// RxDrops returns segments dropped at full socket queues.
+func (st *Stack) RxDrops() uint64 { return st.rxDrops }
+
+// Listen registers an accept callback for a local port.
+func (st *Stack) Listen(port uint16, accept func(s *Socket)) {
+	st.listens[port] = accept
+}
+
+// Dial opens a connection from this host to dstIP:dstPort. The socket
+// pair is created instantly (setup is not on the measured path); the
+// local device is chosen by route, i.e. the device whose wire reaches
+// the destination — with one NIC per host, the only one.
+func (st *Stack) Dial(t *kernel.Thread, dstIP uint32, dstPort uint16, proto uint8) (*Socket, error) {
+	dstStack, dstDev := st.net.lookup(dstIP)
+	if dstStack == nil {
+		return nil, fmt.Errorf("netstack %s: no route to %d", st.name, dstIP)
+	}
+	if len(st.devs) == 0 {
+		return nil, fmt.Errorf("netstack %s: no devices", st.name)
+	}
+	srcDev := st.devs[0]
+	srcIP := st.devIPs[srcDev]
+	st.nextPort++
+	ft := eth.FiveTuple{
+		SrcIP: srcIP, DstIP: dstIP,
+		SrcPort: st.nextPort, DstPort: dstPort,
+		Proto: proto,
+	}
+	local := st.newSocket(ft, srcDev, t, dstDev.HWAddr())
+	accept, ok := dstStack.listens[dstPort]
+	if !ok {
+		return nil, fmt.Errorf("netstack %s: connection refused on %d:%d", st.name, dstIP, dstPort)
+	}
+	remote := dstStack.newSocket(ft.Reverse(), dstDev, nil, srcDev.HWAddr())
+	local.peer, remote.peer = remote, local
+	accept(remote)
+	return local, nil
+}
+
+// newSocket creates and registers a socket.
+func (st *Stack) newSocket(ft eth.FiveTuple, dev NetDevice, owner *kernel.Thread, peerMAC eth.MAC) *Socket {
+	s := &Socket{
+		stack:      st,
+		ft:         ft,
+		dev:        dev,
+		owner:      owner,
+		peerMAC:    peerMAC,
+		txq:        -1,
+		window:     st.params.SendWindow,
+		advertised: st.params.RxBufBytes,
+	}
+	s.rxq = newSegQueue(st.k.Engine(), st.params.RxBufBytes)
+	st.sockets[ft] = s
+	st.sockList = append(st.sockList, s)
+	return s
+}
+
+// DeliverRx is called by drivers (softirq context; the caller charges
+// the CPU costs) to push a received segment into the owning socket.
+func (st *Stack) DeliverRx(rxp *nic.RxPacket) {
+	st.rxSegments++
+	s, ok := st.sockets[rxp.Flow.Reverse()]
+	if !ok {
+		st.rxDrops++
+		return
+	}
+	if !s.rxq.tryPut(rxp) {
+		st.rxDrops++
+		return
+	}
+	// TCP acknowledges on kernel receipt and advertises the remaining
+	// receive-buffer space; the sender's usable window shrinks as the
+	// buffer fills and reopens as the application consumes (Recv).
+	if s.ft.Proto == eth.ProtoTCP && s.peer != nil {
+		s.sendWindowUpdate(rxp.Payload)
+	}
+}
+
+// RxStackCost prices the protocol receive work for a segment (charged
+// by the driver inside the NAPI poll).
+func (st *Stack) RxStackCost(rxp *nic.RxPacket) time.Duration {
+	per := st.params.TCPRxPerPacket
+	if rxp.Flow.Proto == eth.ProtoUDP {
+		per = st.params.UDPPerPacket
+	}
+	return time.Duration(rxp.Packets) * (per + st.params.NAPIPerPacket)
+}
+
+// Network is the static control plane joining stacks: IP routing and
+// ARP resolution for socket setup. Data traffic never flows through it.
+type Network struct {
+	stacks []*Stack
+	byIP   map[uint32]ipEntry
+}
+
+type ipEntry struct {
+	st  *Stack
+	dev NetDevice
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{byIP: make(map[uint32]ipEntry)}
+}
+
+func (n *Network) register(st *Stack) { n.stacks = append(n.stacks, st) }
+
+func (n *Network) addIP(ip uint32, st *Stack, dev NetDevice) {
+	if _, dup := n.byIP[ip]; dup {
+		panic(fmt.Sprintf("netstack: duplicate IP %d", ip))
+	}
+	n.byIP[ip] = ipEntry{st: st, dev: dev}
+}
+
+func (n *Network) lookup(ip uint32) (*Stack, NetDevice) {
+	e, ok := n.byIP[ip]
+	if !ok {
+		return nil, nil
+	}
+	return e.st, e.dev
+}

@@ -1,0 +1,407 @@
+package netstack
+
+import (
+	"time"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// Socket is a connected endpoint. Send and Recv charge the full
+// stack+copy CPU costs on the calling thread's core and move data
+// through the device underneath; windowing throttles senders to the
+// receiver's pace as TCP does.
+type Socket struct {
+	stack   *Stack
+	ft      eth.FiveTuple
+	dev     NetDevice
+	owner   *kernel.Thread
+	peer    *Socket
+	peerMAC eth.MAC
+
+	txq        int
+	seq        uint64
+	window     int64
+	inFlight   int64
+	advertised int64 // peer's last advertised receive-buffer space
+	winSig     *sim.Signal
+
+	rxq *segQueue
+
+	// Per-node lazily allocated buffers: the user-space buffer the app
+	// reads/writes and the kernel-side tx staging buffer (skb data).
+	userBufs map[topology.NodeID]*memsys.Buffer
+	txBufs   map[topology.NodeID]*memsys.Buffer
+
+	sentBytes     int64
+	receivedBytes int64
+	sentSegs      uint64
+	receivedSegs  uint64
+}
+
+// Flow returns the socket's 5-tuple (local perspective).
+func (s *Socket) Flow() eth.FiveTuple { return s.ft }
+
+// Device returns the netdevice serving the socket.
+func (s *Socket) Device() NetDevice { return s.dev }
+
+// Owner returns the thread that owns the socket.
+func (s *Socket) Owner() *kernel.Thread { return s.owner }
+
+// SetOwner assigns the socket to a thread (accept path) and programs
+// initial flow steering toward its core.
+func (s *Socket) SetOwner(t *kernel.Thread) {
+	s.owner = t
+	if t != nil {
+		s.dev.SteerFlow(s.ft.Reverse(), t.Core())
+	}
+}
+
+// SteerTo explicitly steers the socket's arriving flow toward a core
+// (manual IRQ/flow placement, as benchmark harnesses do with ethtool).
+func (s *Socket) SteerTo(core topology.CoreID) {
+	s.dev.SteerFlow(s.ft.Reverse(), core)
+}
+
+// SentBytes returns payload bytes sent.
+func (s *Socket) SentBytes() int64 { return s.sentBytes }
+
+// ReceivedBytes returns payload bytes delivered to the application.
+func (s *Socket) ReceivedBytes() int64 { return s.receivedBytes }
+
+// Pending returns undelivered received segments.
+func (s *Socket) Pending() int { return s.rxq.len() }
+
+func (s *Socket) bufOn(m map[topology.NodeID]*memsys.Buffer, name string, node topology.NodeID) *memsys.Buffer {
+	if b, ok := m[node]; ok {
+		return b
+	}
+	b := s.stack.k.Alloc(name, node, s.stack.params.UserBufBytes)
+	m[node] = b
+	return b
+}
+
+func (s *Socket) userBuf(node topology.NodeID) *memsys.Buffer {
+	if s.userBufs == nil {
+		s.userBufs = make(map[topology.NodeID]*memsys.Buffer)
+	}
+	return s.bufOn(s.userBufs, "userbuf:"+s.ft.String(), node)
+}
+
+func (s *Socket) txBuf(node topology.NodeID) *memsys.Buffer {
+	if s.txBufs == nil {
+		s.txBufs = make(map[topology.NodeID]*memsys.Buffer)
+	}
+	return s.bufOn(s.txBufs, "txbuf:"+s.ft.String(), node)
+}
+
+// Send transmits n payload bytes, blocking on the send window. It
+// charges syscall, copy, protocol and driver costs on t's core.
+func (s *Socket) Send(t *kernel.Thread, n int64) {
+	s.SendMsg(t, n, nil)
+}
+
+// SendMsg is Send with metadata carried to the receiver (timestamps for
+// latency benchmarks).
+func (s *Socket) SendMsg(t *kernel.Thread, n int64, meta any) {
+	s.sendFrom(t, nil, n, meta)
+}
+
+// SendMsgFrom transmits n bytes whose application-side source is the
+// given buffer (a memcached slab, a file cache page run) instead of the
+// socket's default user buffer, so residency and locality of the real
+// data source drive the copy costs.
+func (s *Socket) SendMsgFrom(t *kernel.Thread, src *memsys.Buffer, n int64, meta any) {
+	s.sendFrom(t, src, n, meta)
+}
+
+func (s *Socket) sendFrom(t *kernel.Thread, srcBuf *memsys.Buffer, n int64, meta any) {
+	if s.owner == nil {
+		s.owner = t
+	}
+	p := s.stack.params
+	tso := p.TSO
+	if tso <= 0 {
+		tso = eth.MTU
+	}
+	first := true
+	for n > 0 {
+		seg := n
+		if seg > tso {
+			seg = tso
+		}
+		n -= seg
+		if s.ft.Proto == eth.ProtoTCP {
+			for !s.windowOpen(seg) {
+				s.waitWindow(t)
+			}
+			s.inFlight += seg
+		}
+		pkts := eth.SegmentPackets(seg)
+		node := t.Node()
+		// Stack-side CPU: syscall (first segment), copy user->kernel,
+		// protocol work.
+		t.ExecFn(func() time.Duration {
+			cost := p.TCPTxSegment + time.Duration(pkts)*p.TCPTxPerPacket
+			if s.ft.Proto == eth.ProtoUDP {
+				cost = time.Duration(pkts) * p.UDPPerPacket
+			}
+			if first {
+				cost += p.Syscall
+			}
+			nd := t.Node()
+			src := srcBuf
+			if src == nil {
+				src = s.userBuf(nd)
+			}
+			dst := s.txBuf(nd)
+			cost += s.stack.k.Memory().CPURead(nd, src, seg)
+			cost += s.stack.k.Memory().CPUWrite(nd, dst, seg)
+			return cost
+		})
+		first = false
+
+		// XPS: pick the queue for the current core; switch away from a
+		// previous queue only once it has drained (ooo_okay).
+		desired := s.dev.TxQueueForCore(t.Core())
+		oooOK := true
+		if s.txq >= 0 && desired != s.txq {
+			if s.dev.TxInFlight(s.txq) > 0 {
+				desired = s.txq
+				oooOK = false
+			}
+		}
+		s.txq = desired
+
+		s.seq++
+		s.sentBytes += seg
+		s.sentSegs++
+		pkt := &Packet{
+			Flow:    s.ft,
+			DstMAC:  s.peerMAC,
+			Payload: seg,
+			Packets: pkts,
+			Frags:   []Frag{{Buf: s.txBuf(node), Bytes: seg}},
+			Proto:   s.ft.Proto,
+			Meta:    meta,
+			OOOOkay: oooOK,
+		}
+		s.dev.Xmit(t, pkt, desired)
+	}
+}
+
+// SendFrags transmits a segment built from caller-provided fragments
+// (the sendfile/IOctoSG path: fragments may be homed on different
+// nodes). No user->kernel copy is charged — the page-cache pages are
+// handed to the device directly.
+func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
+	if s.owner == nil {
+		s.owner = t
+	}
+	p := s.stack.params
+	var total int64
+	for _, f := range frags {
+		total += f.Bytes
+	}
+	pkts := eth.SegmentPackets(total)
+	if s.ft.Proto == eth.ProtoTCP {
+		for !s.windowOpen(total) {
+			s.waitWindow(t)
+		}
+		s.inFlight += total
+	}
+	t.ExecFn(func() time.Duration {
+		return p.Syscall + p.TCPTxSegment + time.Duration(pkts)*p.TCPTxPerPacket
+	})
+	desired := s.dev.TxQueueForCore(t.Core())
+	s.txq = desired
+	s.sentBytes += total
+	s.sentSegs++
+	s.dev.Xmit(t, &Packet{
+		Flow:    s.ft,
+		DstMAC:  s.peerMAC,
+		Payload: total,
+		Packets: pkts,
+		Frags:   frags,
+		Proto:   s.ft.Proto,
+		Meta:    meta,
+	}, desired)
+}
+
+// Recv delivers the next received segment to the application: syscall +
+// copy out of the DMA'd packet buffer into the user buffer, on t's
+// core. ok is false only if the socket is shut down.
+func (s *Socket) Recv(t *kernel.Thread) (payload int64, meta any, ok bool) {
+	s.owner = t
+	p := s.stack.params
+	t.ExecFn(func() time.Duration { return p.Syscall })
+	rxp, blocked := s.rxq.get(t)
+	if rxp == nil {
+		return 0, nil, false
+	}
+	t.ExecFn(func() time.Duration {
+		nd := t.Node()
+		cost := s.stack.k.Memory().CPURead(nd, rxp.Buf, rxp.Payload)
+		cost += s.stack.k.Memory().CPUWrite(nd, s.userBuf(nd), rxp.Payload)
+		if blocked {
+			// The thread slept and was woken by the softirq: context
+			// switch back in.
+			cost += s.stack.k.Params().ContextSwitch
+		}
+		return cost
+	})
+	s.receivedBytes += rxp.Payload
+	s.receivedSegs++
+	s.sendWindowUpdate(0)
+	return rxp.Payload, rxp.Meta, true
+}
+
+// sendWindowUpdate acknowledges acked bytes and advertises the current
+// receive-buffer space to the peer, after the ACK flight time.
+func (s *Socket) sendWindowUpdate(acked int64) {
+	if s.ft.Proto != eth.ProtoTCP || s.peer == nil {
+		return
+	}
+	peer := s.peer
+	free := s.rxq.free()
+	s.stack.k.Engine().After(s.stack.params.AckLatency, func() {
+		peer.ack(acked)
+		peer.advertise(free)
+	})
+}
+
+// TryRecvNoCopy removes a pending segment without charging copy costs
+// (zero-copy consumers and tests).
+func (s *Socket) TryRecvNoCopy() (*nic.RxPacket, bool) {
+	rxp, ok := s.rxq.tryGet()
+	if ok {
+		s.receivedBytes += rxp.Payload
+		s.receivedSegs++
+		s.sendWindowUpdate(0)
+	}
+	return rxp, ok
+}
+
+// Close tears the socket (and its peer's rx queue) down, releasing
+// blocked receivers.
+func (s *Socket) Close() {
+	delete(s.stack.sockets, s.ft)
+	s.rxq.close()
+	if s.peer != nil {
+		p := s.peer
+		s.peer = nil
+		p.peer = nil
+		p.Close()
+	}
+}
+
+// ack opens the send window after the receiver's kernel acknowledged n
+// bytes.
+func (s *Socket) ack(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.inFlight -= n
+	if s.inFlight < 0 {
+		s.inFlight = 0
+	}
+	if s.winSig != nil {
+		s.winSig.Broadcast()
+	}
+}
+
+// advertise records the peer's receive-buffer space.
+func (s *Socket) advertise(free int64) {
+	s.advertised = free
+	if s.winSig != nil {
+		s.winSig.Broadcast()
+	}
+}
+
+// windowOpen reports whether seg more bytes fit in both the congestion
+// window and the peer's advertised buffer.
+func (s *Socket) windowOpen(seg int64) bool {
+	if s.inFlight+seg > s.window {
+		return false
+	}
+	return s.inFlight+seg <= s.advertised
+}
+
+func (s *Socket) waitWindow(t *kernel.Thread) {
+	if s.winSig == nil {
+		s.winSig = sim.NewSignal(s.stack.k.Engine())
+	}
+	t.Wait(s.winSig)
+}
+
+// segQueue is the socket receive queue: byte-bounded, with blocking
+// get.
+type segQueue struct {
+	eng      *sim.Engine
+	items    []*nic.RxPacket
+	capBytes int64
+	bytes    int64
+	sig      *sim.Signal
+	closed   bool
+}
+
+func newSegQueue(e *sim.Engine, capBytes int64) *segQueue {
+	return &segQueue{eng: e, capBytes: capBytes, sig: sim.NewSignal(e)}
+}
+
+func (q *segQueue) len() int { return len(q.items) }
+
+// free returns remaining receive-buffer space.
+func (q *segQueue) free() int64 {
+	if q.capBytes <= 0 {
+		return 1 << 40
+	}
+	f := q.capBytes - q.bytes
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+func (q *segQueue) tryPut(rxp *nic.RxPacket) bool {
+	if q.closed || (q.capBytes > 0 && q.bytes+rxp.Payload > q.capBytes) {
+		return false
+	}
+	q.items = append(q.items, rxp)
+	q.bytes += rxp.Payload
+	q.sig.Broadcast()
+	return true
+}
+
+func (q *segQueue) get(t *kernel.Thread) (rxp *nic.RxPacket, blocked bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, blocked
+		}
+		blocked = true
+		t.Wait(q.sig)
+	}
+	rxp = q.items[0]
+	q.items = q.items[1:]
+	q.bytes -= rxp.Payload
+	return rxp, blocked
+}
+
+func (q *segQueue) tryGet() (*nic.RxPacket, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	rxp := q.items[0]
+	q.items = q.items[1:]
+	q.bytes -= rxp.Payload
+	return rxp, true
+}
+
+func (q *segQueue) close() {
+	q.closed = true
+	q.sig.Broadcast()
+}

@@ -1,0 +1,229 @@
+// Package nic models a 100 Gb/s Ethernet adapter with one or more PCIe
+// physical functions (PFs), after the Mellanox ConnectX-5 with a
+// bifurcated PCIe interface the paper prototypes on.
+//
+// The device side implements:
+//
+//   - per-PF receive and transmit queues backed by descriptor rings in
+//     host memory (package device), with DMA through the PF's PCIe
+//     endpoint so all NUDMA effects apply;
+//   - an integrated multi-PF Ethernet switch (MPFS) steering arriving
+//     frames to a PF, and per-PF ARFS tables steering to a queue;
+//   - TSO-style segment transmission and NAPI-compatible interrupt
+//     moderation;
+//   - two firmwares (package-local implementations of Firmware): the
+//     standard one, where each PF has its own MAC and is a separate
+//     logical NIC, and the IOctopus firmware, where the device exposes a
+//     single MAC and the MPFS maps flow 5-tuples to PFs (IOctoRFS, §4.1).
+package nic
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// Params are device cost/behaviour constants.
+type Params struct {
+	// CoalesceDelay is the adaptive interrupt-moderation holdoff; zero
+	// fires an interrupt as soon as a completion lands and NAPI is idle
+	// (the "adaptive interrupt coalescing disabled" latency setup).
+	CoalesceDelay time.Duration
+	// MaxSegment is the largest TSO segment accepted from the host.
+	MaxSegment int64
+	// RxRingEntries / TxRingEntries size each queue's rings.
+	RxRingEntries int
+	TxRingEntries int
+	// DescBytes is the descriptor/completion entry size.
+	DescBytes int64
+	// RxBufBytes / RxBufCount size each Rx queue's packet-buffer pool;
+	// defaults approximate a 1024 x MTU real ring's footprint.
+	RxBufBytes int64
+	RxBufCount int
+}
+
+// DefaultParams returns calibrated defaults (coalescing on).
+func DefaultParams() Params {
+	return Params{
+		CoalesceDelay: 8 * time.Microsecond,
+		MaxSegment:    64 * 1024,
+		RxRingEntries: 1024,
+		TxRingEntries: 1024,
+		DescBytes:     64,
+		RxBufBytes:    64 * 1024,
+		RxBufCount:    40,
+	}
+}
+
+// NIC is the adapter: one physical port, one or more PFs.
+type NIC struct {
+	eng    *sim.Engine
+	mem    *memsys.System
+	name   string
+	mac    eth.MAC // the port's primary (octo: only) MAC
+	pfs    []*PF
+	fw     Firmware
+	wire   *eth.Wire
+	params Params
+
+	rxDrops   uint64
+	rxFrames  uint64
+	rxPackets uint64
+}
+
+// New builds a NIC over the given PCIe endpoints (one per PF, in PF
+// order). The firmware is installed separately with LoadFirmware.
+func New(e *sim.Engine, mem *memsys.System, name string, eps []*pcie.Endpoint, params Params) *NIC {
+	if len(eps) == 0 {
+		panic("nic: need at least one PF endpoint")
+	}
+	n := &NIC{
+		eng:    e,
+		mem:    mem,
+		name:   name,
+		mac:    eth.MACFromInt(hashName(name)),
+		params: params,
+	}
+	for i, ep := range eps {
+		n.pfs = append(n.pfs, &PF{
+			nic:   n,
+			index: i,
+			ep:    ep,
+			mac:   eth.MACFromInt(hashName(name) + uint64(i)),
+		})
+	}
+	return n
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h & 0xffffffffff
+}
+
+// Name returns the device name.
+func (n *NIC) Name() string { return n.name }
+
+// PortMAC implements eth.Port: the port's primary address.
+func (n *NIC) PortMAC() eth.MAC { return n.mac }
+
+// MAC returns the port's primary address.
+func (n *NIC) MAC() eth.MAC { return n.mac }
+
+// PFs returns the physical functions.
+func (n *NIC) PFs() []*PF { return n.pfs }
+
+// PF returns one physical function.
+func (n *NIC) PF(i int) *PF {
+	if i < 0 || i >= len(n.pfs) {
+		panic(fmt.Sprintf("nic %s: no PF %d", n.name, i))
+	}
+	return n.pfs[i]
+}
+
+// Params returns the device constants.
+func (n *NIC) Params() Params { return n.params }
+
+// LoadFirmware installs (or replaces — the paper flashes the prototype
+// back and forth) the device firmware.
+func (n *NIC) LoadFirmware(fw Firmware) { n.fw = fw }
+
+// Firmware returns the active firmware.
+func (n *NIC) Firmware() Firmware { return n.fw }
+
+// AttachWire connects the port to a cable. The NIC transmits with
+// wire.Send(n, f) and receives via Receive.
+func (n *NIC) AttachWire(w *eth.Wire) { n.wire = w }
+
+// Wire returns the attached cable.
+func (n *NIC) Wire() *eth.Wire { return n.wire }
+
+// RxDrops returns frames dropped for lack of ring space.
+func (n *NIC) RxDrops() uint64 { return n.rxDrops }
+
+// Receive implements eth.Port: a frame has fully arrived at the port.
+// The MPFS/firmware steers it to a PF and queue, then the Rx datapath
+// DMAs it to host memory.
+func (n *NIC) Receive(f *eth.Frame) {
+	if n.fw == nil {
+		panic(fmt.Sprintf("nic %s: no firmware loaded", n.name))
+	}
+	n.rxFrames++
+	n.rxPackets += uint64(max(1, f.Packets))
+	pf, queue := n.fw.SteerRx(f)
+	if pf < 0 || pf >= len(n.pfs) {
+		n.rxDrops++
+		return
+	}
+	n.pfs[pf].receive(queue, f)
+}
+
+// PF is one physical function: a PCIe endpoint plus its queues. Under
+// the standard firmware each PF is an independent logical NIC with its
+// own MAC; under the IOctopus firmware the PFs are limbs of one device.
+type PF struct {
+	nic   *NIC
+	index int
+	ep    *pcie.Endpoint
+	mac   eth.MAC
+
+	rxQueues []*RxQueue
+	txQueues []*TxQueue
+	vfs      []*VF
+
+	rxBytes float64 // payload delivered to host via this PF
+	txBytes float64
+}
+
+// Index returns the PF number.
+func (p *PF) Index() int { return p.index }
+
+// Endpoint returns the PF's PCIe endpoint.
+func (p *PF) Endpoint() *pcie.Endpoint { return p.ep }
+
+// Node returns the socket this PF is attached to.
+func (p *PF) Node() topology.NodeID { return p.ep.Node() }
+
+// MAC returns the PF's own address (meaningful under standard
+// firmware).
+func (p *PF) MAC() eth.MAC { return p.mac }
+
+// NIC returns the owning device.
+func (p *PF) NIC() *NIC { return p.nic }
+
+// RxQueues returns the PF's receive queues.
+func (p *PF) RxQueues() []*RxQueue { return p.rxQueues }
+
+// TxQueues returns the PF's transmit queues.
+func (p *PF) TxQueues() []*TxQueue { return p.txQueues }
+
+// RxBytes returns payload bytes DMA'd to the host through this PF —
+// the per-PF throughput series of Figure 14.
+func (p *PF) RxBytes() float64 { return p.rxBytes }
+
+// TxBytes returns payload bytes transmitted through this PF.
+func (p *PF) TxBytes() float64 { return p.txBytes }
+
+// receive runs the Rx datapath for a steered frame.
+func (p *PF) receive(queue int, f *eth.Frame) {
+	if queue < 0 || queue >= len(p.rxQueues) {
+		p.nic.rxDrops++
+		return
+	}
+	p.rxQueues[queue].receive(f)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,358 @@
+package nic
+
+import (
+	"fmt"
+
+	"ioctopus/internal/device"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// RxPacket is a received segment handed to the driver: payload already
+// DMA'd into Buf, completion entries written to the queue's ring.
+type RxPacket struct {
+	Queue     *RxQueue
+	Buf       *memsys.Buffer
+	Payload   int64
+	Packets   int
+	Flow      eth.FiveTuple
+	Meta      any
+	ArrivedAt sim.Time
+}
+
+// RxQueue is one receive queue: a completion ring the device writes and
+// the host reads, plus a pool of packet buffers recycled round-robin.
+type RxQueue struct {
+	pf    *PF
+	index int
+
+	compRing *device.Ring
+	bufs     []*memsys.Buffer
+	bufNext  int
+
+	irqNode topology.NodeID
+	onIRQ   func()
+
+	pending    []*RxPacket
+	napiActive bool
+	coalesce   *sim.Timer
+
+	drops      uint64
+	delivered  uint64
+	interrupts uint64
+}
+
+// AddRxQueue attaches a receive queue to the PF. The driver supplies
+// the completion ring and packet buffers (allocated NUMA-appropriately)
+// and the interrupt target+handler.
+func (p *PF) AddRxQueue(compRing *device.Ring, bufs []*memsys.Buffer, irqNode topology.NodeID, onIRQ func()) *RxQueue {
+	if len(bufs) == 0 {
+		panic("nic: rx queue needs packet buffers")
+	}
+	q := &RxQueue{
+		pf:       p,
+		index:    len(p.rxQueues),
+		compRing: compRing,
+		bufs:     bufs,
+		irqNode:  irqNode,
+		onIRQ:    onIRQ,
+	}
+	p.rxQueues = append(p.rxQueues, q)
+	return q
+}
+
+// Index returns the queue number within its PF.
+func (q *RxQueue) Index() int { return q.index }
+
+// PF returns the owning physical function.
+func (q *RxQueue) PF() *PF { return q.pf }
+
+// IRQNode returns the node whose core handles this queue's interrupts.
+func (q *RxQueue) IRQNode() topology.NodeID { return q.irqNode }
+
+// SetIRQ retargets the queue's interrupt (driver IRQ affinity).
+func (q *RxQueue) SetIRQ(node topology.NodeID, onIRQ func()) {
+	q.irqNode = node
+	q.onIRQ = onIRQ
+}
+
+// CompletionRing returns the queue's completion ring (for driver-side
+// entry reads).
+func (q *RxQueue) CompletionRing() *device.Ring { return q.compRing }
+
+// Drops returns frames dropped by this queue.
+func (q *RxQueue) Drops() uint64 { return q.drops }
+
+// Pending returns how many received segments await the driver.
+func (q *RxQueue) Pending() int { return len(q.pending) }
+
+// receive runs the hardware Rx datapath for one steered frame.
+func (q *RxQueue) receive(f *eth.Frame) {
+	// Ring occupancy check: completions not yet consumed by the host
+	// hold ring entries.
+	if len(q.pending) >= q.compRing.Capacity() {
+		q.drops++
+		q.pf.nic.rxDrops++
+		return
+	}
+	buf := q.bufs[q.bufNext]
+	q.bufNext = (q.bufNext + 1) % len(q.bufs)
+	pkts := max(1, f.Packets)
+	ep := q.pf.ep
+	// Payload DMA, then completion writeback, then interrupt decision.
+	ep.DMAWrite(buf, f.Payload, func() {
+		ep.DMAWrite(q.compRing.Buffer(), int64(pkts)*q.pf.nic.params.DescBytes, func() {
+			q.pf.rxBytes += float64(f.Payload)
+			q.pending = append(q.pending, &RxPacket{
+				Queue:     q,
+				Buf:       buf,
+				Payload:   f.Payload,
+				Packets:   pkts,
+				Flow:      f.Flow,
+				Meta:      f.Meta,
+				ArrivedAt: q.pf.nic.eng.Now(),
+			})
+			q.delivered++
+			q.maybeInterrupt()
+		})
+	})
+}
+
+// maybeInterrupt fires the queue's interrupt respecting NAPI gating and
+// the coalescing holdoff.
+func (q *RxQueue) maybeInterrupt() {
+	if q.napiActive || q.onIRQ == nil || len(q.pending) == 0 {
+		return
+	}
+	delay := q.pf.nic.params.CoalesceDelay
+	if delay == 0 {
+		q.fireInterrupt()
+		return
+	}
+	if q.coalesce != nil && q.coalesce.Pending() {
+		return
+	}
+	q.coalesce = q.pf.nic.eng.After(delay, q.fireInterrupt)
+}
+
+func (q *RxQueue) fireInterrupt() {
+	if q.napiActive || len(q.pending) == 0 {
+		return
+	}
+	q.napiActive = true
+	q.interrupts++
+	q.pf.ep.Interrupt(q.irqNode, q.onIRQ)
+}
+
+// Poll removes up to budget pending segments (the NAPI poll).
+func (q *RxQueue) Poll(budget int) []*RxPacket {
+	n := len(q.pending)
+	if n > budget {
+		n = budget
+	}
+	batch := q.pending[:n]
+	q.pending = q.pending[n:]
+	return batch
+}
+
+// NapiComplete re-enables interrupts; if work arrived meanwhile the
+// interrupt refires (the standard NAPI race resolution).
+func (q *RxQueue) NapiComplete() {
+	q.napiActive = false
+	q.maybeInterrupt()
+}
+
+// TxFrag is one fragment of a transmitted packet; fragments may live on
+// different NUMA nodes (sendfile from the page cache, §3.3), which is
+// what IOctoSG exists for.
+type TxFrag struct {
+	Buf   *memsys.Buffer
+	Bytes int64
+}
+
+// TxPacket is a segment handed to the device for transmission.
+type TxPacket struct {
+	Frags   []TxFrag
+	Payload int64
+	Packets int
+	// Descriptors is how many ring descriptors describe the segment
+	// (1 for a TSO segment; per-packet generators post one each).
+	Descriptors int
+	Flow        eth.FiveTuple
+	Dst         eth.MAC
+	Meta        any
+	// OnSent fires after the driver reaps the Tx completion.
+	OnSent func()
+}
+
+// TxQueue is one transmit queue: descriptor ring (host writes, device
+// reads) and completion ring (device writes, host reads).
+type TxQueue struct {
+	pf    *PF
+	index int
+
+	descRing *device.Ring
+	compRing *device.Ring
+
+	irqNode topology.NodeID
+	onIRQ   func()
+
+	completed  []*TxPacket
+	napiActive bool
+	coalesce   *sim.Timer
+
+	posted     uint64
+	sent       uint64
+	interrupts uint64
+}
+
+// AddTxQueue attaches a transmit queue to the PF.
+func (p *PF) AddTxQueue(descRing, compRing *device.Ring, irqNode topology.NodeID, onIRQ func()) *TxQueue {
+	q := &TxQueue{
+		pf:       p,
+		index:    len(p.txQueues),
+		descRing: descRing,
+		compRing: compRing,
+		irqNode:  irqNode,
+		onIRQ:    onIRQ,
+	}
+	p.txQueues = append(p.txQueues, q)
+	return q
+}
+
+// Index returns the queue number within its PF.
+func (q *TxQueue) Index() int { return q.index }
+
+// PF returns the owning physical function.
+func (q *TxQueue) PF() *PF { return q.pf }
+
+// DescRing returns the descriptor ring (driver posts into it).
+func (q *TxQueue) DescRing() *device.Ring { return q.descRing }
+
+// CompletionRing returns the completion ring.
+func (q *TxQueue) CompletionRing() *device.Ring { return q.compRing }
+
+// InFlight returns descriptors posted but not yet reaped.
+func (q *TxQueue) InFlight() int { return int(q.posted - q.sent) }
+
+// Post hands a packet to the hardware after the driver has written its
+// descriptor and rung the doorbell (the driver charges those CPU
+// costs). The device fetches the descriptor, DMA-reads the payload
+// fragments — through this PF, or fragment-local PFs when the firmware
+// has IOctoSG — transmits on the wire, and writes a Tx completion.
+func (q *TxQueue) Post(pkt *TxPacket) {
+	nic := q.pf.nic
+	if nic.wire == nil {
+		panic(fmt.Sprintf("nic %s: no wire attached", nic.name))
+	}
+	q.posted++
+	if pkt.Descriptors <= 0 {
+		pkt.Descriptors = 1
+	}
+	if per := pkt.Payload / int64(pkt.Descriptors); per > nic.params.MaxSegment {
+		panic(fmt.Sprintf("nic %s: %d bytes per descriptor exceeds TSO max %d", nic.name, per, nic.params.MaxSegment))
+	}
+	frags := pkt.Frags
+	if len(frags) == 0 {
+		panic("nic: TxPacket needs at least one fragment")
+	}
+	// Descriptor fetch, then payload fetch(es), then wire + completion.
+	q.descRing.DeviceRead(q.pf.ep, pkt.Descriptors, func() {
+		remaining := len(frags)
+		for _, fr := range frags {
+			ep := q.pf.ep
+			if nic.fw != nil && nic.fw.SGEnabled() {
+				// IOctoSG: read each fragment through the PF local to
+				// its memory so no fragment crosses the interconnect.
+				if local := nic.pfOn(fr.Buf.Home()); local != nil {
+					ep = local.ep
+				}
+			}
+			ep.DMARead(fr.Buf, fr.Bytes, func() {
+				remaining--
+				if remaining == 0 {
+					q.transmit(pkt)
+				}
+			})
+		}
+	})
+}
+
+// transmit puts the assembled frame on the wire and completes.
+func (q *TxQueue) transmit(pkt *TxPacket) {
+	nic := q.pf.nic
+	src := q.pf.mac
+	if nic.fw != nil && nic.fw.SingleMAC() {
+		src = nic.mac
+	}
+	frame := &eth.Frame{
+		Src:     src,
+		Dst:     pkt.Dst,
+		Flow:    pkt.Flow,
+		Payload: pkt.Payload,
+		Packets: max(1, pkt.Packets),
+		Meta:    pkt.Meta,
+	}
+	nic.wire.Send(nic, frame)
+	q.pf.txBytes += float64(pkt.Payload)
+	// Completion writeback for the segment's packets.
+	q.pf.ep.DMAWrite(q.compRing.Buffer(), int64(frame.Packets)*nic.params.DescBytes, func() {
+		q.sent++
+		q.completed = append(q.completed, pkt)
+		q.maybeInterrupt()
+	})
+}
+
+// maybeInterrupt mirrors the Rx side's NAPI gating.
+func (q *TxQueue) maybeInterrupt() {
+	if q.napiActive || q.onIRQ == nil || len(q.completed) == 0 {
+		return
+	}
+	delay := q.pf.nic.params.CoalesceDelay
+	if delay == 0 {
+		q.fireInterrupt()
+		return
+	}
+	if q.coalesce != nil && q.coalesce.Pending() {
+		return
+	}
+	q.coalesce = q.pf.nic.eng.After(delay, q.fireInterrupt)
+}
+
+func (q *TxQueue) fireInterrupt() {
+	if q.napiActive || len(q.completed) == 0 {
+		return
+	}
+	q.napiActive = true
+	q.interrupts++
+	q.pf.ep.Interrupt(q.irqNode, q.onIRQ)
+}
+
+// Reap removes up to budget completed packets for driver cleanup.
+func (q *TxQueue) Reap(budget int) []*TxPacket {
+	n := len(q.completed)
+	if n > budget {
+		n = budget
+	}
+	batch := q.completed[:n]
+	q.completed = q.completed[n:]
+	return batch
+}
+
+// NapiComplete re-enables Tx interrupts.
+func (q *TxQueue) NapiComplete() {
+	q.napiActive = false
+	q.maybeInterrupt()
+}
+
+// pfOn returns the PF attached to the given node, or nil.
+func (n *NIC) pfOn(node topology.NodeID) *PF {
+	for _, p := range n.pfs {
+		if p.ep.Node() == node {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package nic
+
+import (
+	"fmt"
+
+	"ioctopus/internal/eth"
+)
+
+// VF is an SR-IOV virtual function: a logical NIC with its own MAC
+// address hosted on one physical function, steered by the integrated
+// multi-PF switch. Footnote 4 of the paper: "The MPFS exists to support
+// configurable MAC addresses and SR-IOV" — this is that machinery,
+// which the IOctopus firmware repurposes for 5-tuple steering.
+type VF struct {
+	pf     *PF
+	index  int
+	mac    eth.MAC
+	queues []int // indices into the PF's rx queue array owned by this VF
+}
+
+// AddVF creates a virtual function on the PF with the given MAC. Its
+// receive queues are registered afterwards with AssignQueue.
+func (p *PF) AddVF(mac eth.MAC) *VF {
+	for _, v := range p.vfs {
+		if v.mac == mac {
+			panic(fmt.Sprintf("nic %s: duplicate VF MAC %s", p.nic.name, mac))
+		}
+	}
+	vf := &VF{pf: p, index: len(p.vfs), mac: mac}
+	p.vfs = append(p.vfs, vf)
+	return vf
+}
+
+// VFs returns the PF's virtual functions.
+func (p *PF) VFs() []*VF { return p.vfs }
+
+// Index returns the VF number within its PF.
+func (v *VF) Index() int { return v.index }
+
+// MAC returns the VF's address.
+func (v *VF) MAC() eth.MAC { return v.mac }
+
+// PF returns the hosting physical function.
+func (v *VF) PF() *PF { return v.pf }
+
+// SetMAC reconfigures the VF's address (the "configurable MAC
+// addresses" half of footnote 4); the MPFS steers by the new MAC from
+// the next frame on.
+func (v *VF) SetMAC(mac eth.MAC) { v.mac = mac }
+
+// AssignQueue hands one of the PF's receive queues to the VF; steered
+// frames spread over the VF's queues by flow hash.
+func (v *VF) AssignQueue(q *RxQueue) {
+	if q.pf != v.pf {
+		panic(fmt.Sprintf("nic %s: queue belongs to another PF", v.pf.nic.name))
+	}
+	v.queues = append(v.queues, q.index)
+}
+
+// Queues returns the PF-queue indices owned by the VF.
+func (v *VF) Queues() []int { return v.queues }
+
+// nativeQueues returns the PF's receive-queue indices not owned by any
+// VF (the PF's own RSS indirection table).
+func (p *PF) nativeQueues() []int {
+	owned := make(map[int]bool)
+	for _, vf := range p.vfs {
+		for _, q := range vf.queues {
+			owned[q] = true
+		}
+	}
+	var native []int
+	for i := range p.rxQueues {
+		if !owned[i] {
+			native = append(native, i)
+		}
+	}
+	return native
+}
+
+// steerVF resolves a frame addressed to a VF MAC, if any. Returns
+// (pf, queue, true) on a match.
+func (fw *StandardFirmware) steerVF(f *eth.Frame) (int, int, bool) {
+	for pi, p := range fw.nic.pfs {
+		for _, vf := range p.vfs {
+			if vf.mac != f.Dst || len(vf.queues) == 0 {
+				continue
+			}
+			q := vf.queues[int(f.Flow.Hash())%len(vf.queues)]
+			return pi, q, true
+		}
+	}
+	return 0, 0, false
+}

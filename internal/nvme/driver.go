@@ -1,0 +1,159 @@
+package nvme
+
+import (
+	"time"
+
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/topology"
+)
+
+// Policy selects how a multi-port drive is used.
+type Policy int
+
+// Policies.
+const (
+	// SinglePath is the standard driver: all I/O through port 0, as a
+	// stock multipath setup pinned to one path behaves.
+	SinglePath Policy = iota
+	// OctoSSD applies the IOctopus principle to storage: each request
+	// is routed through the port local to its data buffer's node, so no
+	// data DMA crosses the interconnect (§5.4 future work, built here).
+	OctoSSD
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == OctoSSD {
+		return "octossd"
+	}
+	return "single-path"
+}
+
+// DriverParams are host-side cost constants.
+type DriverParams struct {
+	// DoorbellCPU is the submission doorbell cost.
+	DoorbellCPU time.Duration
+	// PerIOCPU is block-layer per-request work.
+	PerIOCPU time.Duration
+	// ReapBudget bounds completions per interrupt.
+	ReapBudget int
+}
+
+// DefaultDriverParams returns calibrated defaults.
+func DefaultDriverParams() DriverParams {
+	return DriverParams{
+		DoorbellCPU: 60 * time.Nanosecond,
+		PerIOCPU:    1200 * time.Nanosecond,
+		ReapBudget:  64,
+	}
+}
+
+// Driver is the host NVMe driver for one controller.
+type Driver struct {
+	k      *kernel.Kernel
+	ctrl   *Controller
+	policy Policy
+	params DriverParams
+
+	// One queue pair per (port, submitting node): rings homed on the
+	// submitter's node, interrupts to it.
+	qps map[[2]int]*QueuePair
+
+	completed uint64
+}
+
+// NewDriver binds a driver to a controller.
+func NewDriver(k *kernel.Kernel, ctrl *Controller, policy Policy, params DriverParams) *Driver {
+	return &Driver{
+		k:      k,
+		ctrl:   ctrl,
+		policy: policy,
+		params: params,
+		qps:    make(map[[2]int]*QueuePair),
+	}
+}
+
+// Controller returns the managed drive.
+func (d *Driver) Controller() *Controller { return d.ctrl }
+
+// Policy returns the routing policy.
+func (d *Driver) Policy() Policy { return d.policy }
+
+// Completed returns requests whose completions the driver has reaped.
+func (d *Driver) Completed() uint64 { return d.completed }
+
+// pickPort routes a request per the policy.
+func (d *Driver) pickPort(req *Request) *Port {
+	if d.policy == OctoSSD {
+		for _, p := range d.ctrl.ports {
+			if p.Node() == req.Buf.Home() {
+				return p
+			}
+		}
+	}
+	return d.ctrl.ports[0]
+}
+
+// qpFor returns (creating on demand) the queue pair for a port and
+// submitting node.
+func (d *Driver) qpFor(p *Port, node topology.NodeID) *QueuePair {
+	key := [2]int{p.index, int(node)}
+	if qp, ok := d.qps[key]; ok {
+		return qp
+	}
+	var qp *QueuePair
+	qp = p.NewQueuePair(node, node, func() {
+		// Completion interrupt: reap on the first core of the node.
+		core := d.k.Topology().CoresOn(node)[0].ID
+		d.k.Core(core).IRQ(d.ctrl.name, func() time.Duration { return d.reap(qp, node) })
+	})
+	d.qps[key] = qp
+	return qp
+}
+
+// reap processes completions: per-CQE host reads plus callbacks.
+func (d *Driver) reap(qp *QueuePair, node topology.NodeID) time.Duration {
+	var cost time.Duration
+	for _, req := range qp.Reap(d.params.ReapBudget) {
+		cost += qp.CQ().HostRead(node, 1)
+		cost += d.params.PerIOCPU / 2
+		d.completed++
+		if req.OnComplete != nil {
+			req.OnComplete(req)
+		}
+	}
+	qp.IRQComplete()
+	return cost
+}
+
+// Submit issues a request from the calling thread: block-layer CPU,
+// SQE write, doorbell, then the hardware path.
+func (d *Driver) Submit(t *kernel.Thread, req *Request) {
+	port := d.pickPort(req)
+	qp := d.qpFor(port, t.Node())
+	t.ExecFn(func() time.Duration {
+		cost := d.params.PerIOCPU / 2
+		cost += qp.SQ().HostWrite(t.Node(), 1)
+		cost += d.params.DoorbellCPU
+		return cost
+	})
+	flight := port.ep.MMIOWrite(t.Node())
+	d.k.Engine().After(flight, func() { qp.Submit(req) })
+}
+
+// SubmitAsync issues a request from event context (async I/O engines
+// that batch submissions); CPU costs are charged to the given core.
+func (d *Driver) SubmitAsync(core topology.CoreID, req *Request) {
+	node := d.k.Topology().NodeOf(core)
+	port := d.pickPort(req)
+	qp := d.qpFor(port, node)
+	d.k.Core(core).Submit("nvme-submit", func() time.Duration {
+		cost := d.params.PerIOCPU / 2
+		cost += qp.SQ().HostWrite(node, 1)
+		cost += d.params.DoorbellCPU
+		return cost
+	}, func() {
+		flight := port.ep.MMIOWrite(node)
+		d.k.Engine().After(flight, func() { qp.Submit(req) })
+	})
+}

@@ -1,0 +1,202 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+
+	"ioctopus/internal/interconnect"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+type nvmeRig struct {
+	eng  *sim.Engine
+	k    *kernel.Kernel
+	mem  *memsys.System
+	ctrl *Controller
+}
+
+func newNvmeRig(t *testing.T, dualPort bool) *nvmeRig {
+	t.Helper()
+	e := sim.NewEngine()
+	topo := topology.DualSkylake()
+	fab := interconnect.New(e, topo)
+	mem := memsys.New(e, topo, fab, memsys.DefaultParams())
+	pc := pcie.New(e, mem, pcie.DefaultParams())
+	cfg := pcie.CardConfig{Name: "nvme0", Gen: pcie.Gen3, TotalLanes: 8,
+		Wiring: pcie.WiringDirect, Nodes: []topology.NodeID{1}}
+	if dualPort {
+		cfg.Wiring = pcie.WiringBifurcated
+		cfg.Nodes = []topology.NodeID{1, 0}
+	}
+	eps := pc.AttachCard(cfg)
+	ctrl := New(e, mem, "nvme0", eps, DefaultParams())
+	k := kernel.New(e, topo, mem, kernel.DefaultParams())
+	return &nvmeRig{eng: e, k: k, mem: mem, ctrl: ctrl}
+}
+
+func TestReadCompletesWithFlashLatency(t *testing.T) {
+	r := newNvmeRig(t, false)
+	d := NewDriver(r.k, r.ctrl, SinglePath, DefaultDriverParams())
+	buf := r.mem.NewBuffer("data", 1, 128*1024)
+	var lat time.Duration
+	r.k.Spawn("io", 24, func(th *kernel.Thread) { // core 24 = node 1, local
+		req := &Request{Bytes: 128 * 1024, Buf: buf,
+			OnComplete: func(rq *Request) { lat = rq.Latency() }}
+		d.Submit(th, req)
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	if lat == 0 {
+		t.Fatal("read never completed")
+	}
+	// Flash latency (90us) + media transfer (128K/3.2G = 40us) dominate.
+	if lat < 100*time.Microsecond || lat > 400*time.Microsecond {
+		t.Fatalf("latency = %v, want ~130-200us", lat)
+	}
+	if r.ctrl.Reads() != 1 {
+		t.Fatalf("reads = %d", r.ctrl.Reads())
+	}
+	r.eng.Drain()
+}
+
+func TestReadDataLandsViaDDIOWhenLocal(t *testing.T) {
+	r := newNvmeRig(t, false)
+	d := NewDriver(r.k, r.ctrl, SinglePath, DefaultDriverParams())
+	buf := r.mem.NewBuffer("data", 1, 128*1024) // node 1 = SSD node
+	r.k.Spawn("io", 24, func(th *kernel.Thread) {
+		d.Submit(th, &Request{Bytes: 128 * 1024, Buf: buf})
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	if buf.CachedAt() != 1 {
+		t.Fatal("local read should land in the SSD node's LLC via DDIO")
+	}
+	r.eng.Drain()
+}
+
+func TestRemoteReadCrossesInterconnect(t *testing.T) {
+	r := newNvmeRig(t, false)
+	d := NewDriver(r.k, r.ctrl, SinglePath, DefaultDriverParams())
+	buf := r.mem.NewBuffer("data", 0, 128*1024) // fio node, remote to SSD
+	r.k.Spawn("io", 0, func(th *kernel.Thread) {
+		d.Submit(th, &Request{Bytes: 128 * 1024, Buf: buf})
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	if got := r.mem.Fabric().Pipe(1, 0).DiscreteBytes(); got < 128*1024 {
+		t.Fatalf("UPI bytes = %v, want >= 128K (data crossing)", got)
+	}
+	if r.mem.Stats(0).DRAMWriteBytes < 128*1024 {
+		t.Fatal("remote DMA write should land in the fio node's DRAM")
+	}
+	r.eng.Drain()
+}
+
+func TestOctoSSDRoutesByBufferHome(t *testing.T) {
+	r := newNvmeRig(t, true) // dual port: port0@node1, port1@node0
+	d := NewDriver(r.k, r.ctrl, OctoSSD, DefaultDriverParams())
+	buf0 := r.mem.NewBuffer("d0", 0, 128*1024)
+	buf1 := r.mem.NewBuffer("d1", 1, 128*1024)
+	r.k.Spawn("io", 0, func(th *kernel.Thread) {
+		d.Submit(th, &Request{Bytes: 128 * 1024, Buf: buf0})
+		d.Submit(th, &Request{Bytes: 128 * 1024, Buf: buf1})
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	// Each request used the port local to its buffer: no DATA crossed
+	// (only 64-byte control structures — the CQE of the request whose
+	// queue pair lives on the submitter's node but whose port is on
+	// the other socket).
+	if got := r.mem.Fabric().Pipe(1, 0).DiscreteBytes(); got > 1024 {
+		t.Fatalf("OctoSSD let %v bytes cross 1->0", got)
+	}
+	if r.ctrl.Port(0).Endpoint().DMAWriteBytes() < 128*1024 ||
+		r.ctrl.Port(1).Endpoint().DMAWriteBytes() < 128*1024 {
+		t.Fatal("both ports should have carried one request's data")
+	}
+	r.eng.Drain()
+}
+
+func TestSinglePathIgnoresBufferHome(t *testing.T) {
+	r := newNvmeRig(t, true)
+	d := NewDriver(r.k, r.ctrl, SinglePath, DefaultDriverParams())
+	buf0 := r.mem.NewBuffer("d0", 0, 128*1024)
+	r.k.Spawn("io", 0, func(th *kernel.Thread) {
+		d.Submit(th, &Request{Bytes: 128 * 1024, Buf: buf0})
+	})
+	r.eng.RunFor(10 * time.Millisecond)
+	if r.ctrl.Port(1).Endpoint().DMAWriteBytes() != 0 {
+		t.Fatal("single-path must stay on port 0")
+	}
+	r.eng.Drain()
+}
+
+func TestWritesSlowerThanReads(t *testing.T) {
+	run := func(write bool) float64 {
+		r := newNvmeRig(t, false)
+		d := NewDriver(r.k, r.ctrl, SinglePath, DefaultDriverParams())
+		var bytes int64
+		r.k.Spawn("io", 24, func(th *kernel.Thread) {
+			var resubmit func(slot int)
+			bufs := make([]*memsys.Buffer, 8)
+			for i := range bufs {
+				bufs[i] = r.mem.NewBuffer("b", 1, 128*1024)
+			}
+			resubmit = func(slot int) {
+				d.SubmitAsync(24, &Request{Write: write, Bytes: 128 * 1024, Buf: bufs[slot],
+					OnComplete: func(rq *Request) { bytes += rq.Bytes; resubmit(slot) }})
+			}
+			for i := 0; i < 8; i++ {
+				resubmit(i)
+			}
+		})
+		r.eng.RunFor(50 * time.Millisecond)
+		r.eng.Drain()
+		return float64(bytes) / 0.05 / 1e9
+	}
+	reads := run(false)
+	writes := run(true)
+	if reads < 2.8 || reads > 3.5 {
+		t.Fatalf("read throughput = %.2f GB/s, want ~3.2", reads)
+	}
+	if writes > reads*0.8 {
+		t.Fatalf("writes (%.2f) should be slower than reads (%.2f)", writes, reads)
+	}
+	r := newNvmeRig(t, false)
+	r.eng.Drain()
+}
+
+func TestQueuePairReapAndInterrupts(t *testing.T) {
+	r := newNvmeRig(t, false)
+	irqs := 0
+	qp := r.ctrl.Port(0).NewQueuePair(1, 1, func() { irqs++ })
+	buf := r.mem.NewBuffer("b", 1, 4096)
+	for i := 0; i < 4; i++ {
+		qp.Submit(&Request{Bytes: 4096, Buf: buf})
+	}
+	if qp.InFlight() != 4 {
+		t.Fatalf("in flight = %d", qp.InFlight())
+	}
+	r.eng.RunFor(10 * time.Millisecond)
+	if irqs == 0 {
+		t.Fatal("no completion interrupt")
+	}
+	if irqs >= 4 {
+		t.Fatalf("interrupts = %d; coalescing should batch them", irqs)
+	}
+	batch := qp.Reap(64)
+	if len(batch) != 4 {
+		t.Fatalf("reaped = %d", len(batch))
+	}
+	if qp.InFlight() != 0 {
+		t.Fatalf("in flight after reap = %d", qp.InFlight())
+	}
+	qp.IRQComplete()
+	r.eng.Drain()
+}
+
+func TestPolicyString(t *testing.T) {
+	if SinglePath.String() != "single-path" || OctoSSD.String() != "octossd" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,224 @@
+// Package pcie models the PCIe fabric joining I/O devices to the server:
+// endpoints (physical functions), their link bandwidth by generation and
+// lane count, DMA data movement into the memory system, MMIO doorbells
+// and MSI-X interrupt delivery — each with the local/remote asymmetry
+// that creates NUDMA.
+//
+// It also models the wiring options of §3.2: direct attach, PCIe
+// bifurcation (one x16 card split into two x8 endpoints on different
+// sockets — the octoNIC prototype's configuration), lane extenders,
+// motherboard risers, and an onboard programmable PCIe switch (more
+// flexible, but each transaction pays the switch hop).
+package pcie
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// Gen is a PCIe generation.
+type Gen int
+
+// Supported generations.
+const (
+	Gen3 Gen = 3
+	Gen4 Gen = 4
+)
+
+// perLaneBandwidth returns usable bytes/sec per lane (after encoding
+// overhead: 128b/130b for Gen3+).
+func perLaneBandwidth(g Gen) float64 {
+	switch g {
+	case Gen3:
+		return 0.985e9 // 8 GT/s x 128/130 / 8 bits
+	case Gen4:
+		return 1.969e9
+	default:
+		panic(fmt.Sprintf("pcie: unsupported generation %d", g))
+	}
+}
+
+// LinkBandwidth returns the usable one-direction bandwidth of a link.
+func LinkBandwidth(g Gen, lanes int) float64 {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("pcie: invalid lane count %d", lanes))
+	}
+	return perLaneBandwidth(g) * float64(lanes)
+}
+
+// Endpoint is one PCIe physical function's attachment point: a link to
+// one socket's I/O controller.
+type Endpoint struct {
+	fabric *Fabric
+	name   string
+	node   topology.NodeID
+	gen    Gen
+	lanes  int
+
+	toHost   *sim.Pipe // DMA writes (device -> memory)
+	toDevice *sim.Pipe // DMA reads (memory -> device)
+
+	// extraLatency is added to every transaction (programmable-switch
+	// hop, extender retimers).
+	extraLatency time.Duration
+
+	dmaReadBytes  float64
+	dmaWriteBytes float64
+	mmioOps       uint64
+	interrupts    uint64
+}
+
+// Fabric is the server's PCIe fabric.
+type Fabric struct {
+	eng       *sim.Engine
+	mem       *memsys.System
+	endpoints []*Endpoint
+	params    Params
+}
+
+// Params are PCIe transaction cost constants.
+type Params struct {
+	// LinkLatency is the one-way latency of a PCIe link hop.
+	LinkLatency time.Duration
+	// MMIOWriteLatency is the host-side cost of a posted doorbell write.
+	MMIOWriteLatency time.Duration
+	// InterruptLatency is MSI-X delivery latency to a local core.
+	InterruptLatency time.Duration
+	// SwitchLatency is the extra hop cost behind a programmable switch.
+	SwitchLatency time.Duration
+}
+
+// DefaultParams returns calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		LinkLatency:      250 * time.Nanosecond,
+		MMIOWriteLatency: 100 * time.Nanosecond,
+		InterruptLatency: 600 * time.Nanosecond,
+		SwitchLatency:    150 * time.Nanosecond,
+	}
+}
+
+// New builds a PCIe fabric over the memory system.
+func New(e *sim.Engine, mem *memsys.System, params Params) *Fabric {
+	return &Fabric{eng: e, mem: mem, params: params}
+}
+
+// Memory returns the memory system DMA lands in.
+func (f *Fabric) Memory() *memsys.System { return f.mem }
+
+// NewEndpoint attaches a PF with the given link to a socket.
+func (f *Fabric) NewEndpoint(name string, node topology.NodeID, g Gen, lanes int) *Endpoint {
+	return f.newEndpoint(name, node, g, lanes, 0)
+}
+
+func (f *Fabric) newEndpoint(name string, node topology.NodeID, g Gen, lanes int, extra time.Duration) *Endpoint {
+	bw := LinkBandwidth(g, lanes)
+	ep := &Endpoint{
+		fabric:       f,
+		name:         name,
+		node:         node,
+		gen:          g,
+		lanes:        lanes,
+		extraLatency: extra,
+		toHost: sim.NewPipe(f.eng, sim.PipeConfig{
+			Name: name + ":up", BytesPerSec: bw, BaseLatency: f.params.LinkLatency,
+		}),
+		toDevice: sim.NewPipe(f.eng, sim.PipeConfig{
+			Name: name + ":down", BytesPerSec: bw, BaseLatency: f.params.LinkLatency,
+		}),
+	}
+	f.endpoints = append(f.endpoints, ep)
+	return ep
+}
+
+// Endpoints returns all attached endpoints.
+func (f *Fabric) Endpoints() []*Endpoint { return f.endpoints }
+
+// Name returns the endpoint's name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Node returns the socket the endpoint is attached to.
+func (ep *Endpoint) Node() topology.NodeID { return ep.node }
+
+// Lanes returns the link width.
+func (ep *Endpoint) Lanes() int { return ep.lanes }
+
+// Bandwidth returns the link's one-direction bandwidth.
+func (ep *Endpoint) Bandwidth() float64 { return LinkBandwidth(ep.gen, ep.lanes) }
+
+// DMAWrite moves n bytes from the device into the buffer (packet
+// reception, completion writeback): the data serializes on the uplink,
+// then lands per the memory system's DDIO rules. done fires when the
+// write is globally observable.
+func (ep *Endpoint) DMAWrite(b *memsys.Buffer, n int64, done func()) {
+	ep.dmaWriteBytes += float64(n)
+	ep.toHost.Transfer(n, func() {
+		lat := ep.fabric.mem.DeviceWrite(ep.node, b, n) + ep.extraLatency
+		if done == nil {
+			return
+		}
+		ep.fabric.eng.After(lat, done)
+	})
+}
+
+// DMARead moves n bytes from the buffer into the device (packet
+// transmission, descriptor fetch): the memory system supplies the data
+// (LLC or DRAM, local or remote), then it serializes on the downlink.
+// done fires when the last byte reaches the device.
+func (ep *Endpoint) DMARead(b *memsys.Buffer, n int64, done func()) {
+	ep.dmaReadBytes += float64(n)
+	lat := ep.fabric.mem.DeviceRead(ep.node, b, n) + ep.extraLatency
+	ep.fabric.eng.After(lat, func() {
+		ep.toDevice.Transfer(n, done)
+	})
+}
+
+// MMIOWrite models a core on fromNode posting a doorbell write to the
+// endpoint and returns the latency until the device observes it. Posted
+// writes don't stall the core for the full flight time; the caller
+// decides how much of this to charge to CPU time.
+func (ep *Endpoint) MMIOWrite(fromNode topology.NodeID) time.Duration {
+	ep.mmioOps++
+	lat := ep.fabric.params.MMIOWriteLatency + ep.fabric.params.LinkLatency + ep.extraLatency
+	if fromNode != ep.node {
+		lat += ep.fabric.mem.Fabric().Charge(fromNode, ep.node, 64)
+	}
+	return lat
+}
+
+// Interrupt delivers an MSI-X interrupt toward a core on toNode,
+// scheduling handler after the delivery latency.
+func (ep *Endpoint) Interrupt(toNode topology.NodeID, handler func()) {
+	ep.interrupts++
+	lat := ep.fabric.params.InterruptLatency + ep.extraLatency
+	if toNode != ep.node {
+		lat += ep.fabric.mem.Fabric().Charge(ep.node, toNode, 64)
+	}
+	ep.fabric.eng.After(lat, handler)
+}
+
+// DMAWriteBytes returns total bytes DMA-written through this endpoint.
+func (ep *Endpoint) DMAWriteBytes() float64 { return ep.dmaWriteBytes }
+
+// DMAReadBytes returns total bytes DMA-read through this endpoint.
+func (ep *Endpoint) DMAReadBytes() float64 { return ep.dmaReadBytes }
+
+// MMIOOps returns the number of doorbell writes received.
+func (ep *Endpoint) MMIOOps() uint64 { return ep.mmioOps }
+
+// Interrupts returns the number of interrupts raised.
+func (ep *Endpoint) Interrupts() uint64 { return ep.interrupts }
+
+// ResetStats zeroes the endpoint's counters.
+func (ep *Endpoint) ResetStats() {
+	ep.dmaReadBytes = 0
+	ep.dmaWriteBytes = 0
+	ep.mmioOps = 0
+	ep.interrupts = 0
+	ep.toHost.ResetStats()
+	ep.toDevice.ResetStats()
+}

@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in nanoseconds and an event heap.
+// All model components (cores, links, devices) schedule callbacks on the
+// engine; nothing in the simulation reads wall-clock time, so a run with a
+// fixed seed is exactly reproducible.
+//
+// Two programming styles are supported: plain event callbacks
+// (Engine.At/After) and blocking processes (Engine.Go) that execute on
+// goroutines but are resumed one at a time by the engine, SimPy style, so
+// determinism is preserved.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an absolute simulation timestamp in nanoseconds since the start
+// of the run.
+type Time int64
+
+// Common time units, usable as time.Duration values in model code.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t. Negative results are clamped to t so a
+// subtraction bug in a cost model cannot move the clock backwards.
+func (t Time) Add(d time.Duration) Time {
+	nt := t + Time(d)
+	if nt < t && d > 0 { // overflow
+		return Time(math.MaxInt64)
+	}
+	if nt < 0 {
+		return t
+	}
+	return nt
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns the timestamp as a float number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the timestamp as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events scheduled for the same instant
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.idx = -1
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	stopped bool
+	procs   map[*Proc]struct{}
+	tracer  *Tracer
+
+	// Executed counts dispatched events, for diagnostics and loop guards.
+	Executed uint64
+	// MaxEvents aborts the run (panic) if more than this many events are
+	// dispatched; a guard against accidental event storms. Zero disables.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the model and panics.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Timer is a handle to a scheduled event, allowing cancellation.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// Stop cancels the pending event. It reports whether the event was still
+// pending (and is now cancelled).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.eng.events, t.ev.idx)
+	t.ev.idx = -1
+	return true
+}
+
+// When returns the time the event is scheduled for.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Pending reports whether the event has not yet fired or been cancelled.
+func (t *Timer) Pending() bool { return t.ev.idx >= 0 }
+
+// step dispatches the earliest pending event. It reports false when the
+// event queue is empty.
+func (e *Engine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	e.Executed++
+	if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+	}
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the clock would pass `until` or no events
+// remain. The clock is left at `until` (or at the last event if the queue
+// drained earlier and Stop was not called).
+func (e *Engine) Run(until Time) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if len(e.events) == 0 || e.events[0].at > until {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && until > e.now {
+		e.now = until
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d time.Duration) { e.Run(e.now.Add(d)) }
+
+// RunUntilIdle dispatches events until none remain.
+func (e *Engine) RunUntilIdle() {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped && e.step() {
+	}
+}
+
+// Stop makes the current Run/RunUntilIdle return after the event being
+// dispatched completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Drain terminates all parked processes. Call when a run is finished so
+// process goroutines do not leak; after Drain the engine must not be used.
+func (e *Engine) Drain() {
+	for p := range e.procs {
+		p.kill()
+	}
+	e.procs = make(map[*Proc]struct{})
+}

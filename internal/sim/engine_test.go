@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30*Nanosecond, func() { order = append(order, 3) })
+	e.After(10*Nanosecond, func() { order = append(order, 1) })
+	e.After(20*Nanosecond, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != Time(30) {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(100), func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(10*Nanosecond, func() { fired++ })
+	e.After(100*Nanosecond, func() { fired++ })
+	e.Run(Time(50))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != Time(50) {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+	e.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(Time(5), func() {})
+	})
+	e.RunUntilIdle()
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			e.After(Nanosecond, rec)
+		}
+	}
+	e.After(0, rec)
+	e.RunUntilIdle()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != Time(4) {
+		t.Fatalf("clock = %v, want 4", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(10*Nanosecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report cancellation")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestTimerStopAmongOthers(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	timers := make([]*Timer, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		timers[i] = e.After(time.Duration(i+1)*Nanosecond, func() { fired = append(fired, i) })
+	}
+	timers[2].Stop()
+	e.RunUntilIdle()
+	want := []int{0, 1, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*Nanosecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop should halt the loop)", count)
+	}
+}
+
+func TestEngineMaxEventsGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	var loop func()
+	loop = func() { e.After(Nanosecond, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxEvents guard did not trip")
+		}
+	}()
+	e.RunUntilIdle()
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(100)
+	if tm.Add(50*Nanosecond) != Time(150) {
+		t.Error("Add failed")
+	}
+	if tm.Add(-200*Nanosecond) != tm {
+		t.Error("negative Add should clamp to t")
+	}
+	if tm.Sub(Time(40)) != 60*Nanosecond {
+		t.Error("Sub failed")
+	}
+	if Time(2_500_000_000).Seconds() != 2.5 {
+		t.Error("Seconds failed")
+	}
+}
+
+func TestTimeAddMonotonic(t *testing.T) {
+	// Property: Add never moves time backwards for non-negative d.
+	f := func(base int64, d int64) bool {
+		if base < 0 {
+			base = -base
+		}
+		if d < 0 {
+			d = -d
+		}
+		tm := Time(base)
+		return tm.Add(time.Duration(d)) >= tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		g := NewRNG(42)
+		var out []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.After(g.Exp(100*Nanosecond), func() { out = append(out, i) })
+		}
+		e.RunUntilIdle()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+// Queue is a FIFO queue of items connecting simulated processes, the
+// analogue of a buffered channel. Capacity 0 means unbounded.
+type Queue[T any] struct {
+	eng      *Engine
+	items    []T
+	capacity int
+	notEmpty *Signal
+	notFull  *Signal
+	closed   bool
+}
+
+// NewQueue returns a queue bound to the engine. capacity <= 0 means
+// unbounded.
+func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
+	return &Queue[T]{
+		eng:      e,
+		capacity: capacity,
+		notEmpty: NewSignal(e),
+		notFull:  NewSignal(e),
+	}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Full reports whether a bounded queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+
+// Put appends an item, blocking the process while the queue is full.
+func (q *Queue[T]) Put(p *Proc, item T) {
+	for q.Full() {
+		q.notFull.Wait(p)
+	}
+	q.push(item)
+}
+
+// TryPut appends an item without blocking; it reports success. It can be
+// called from event-callback context (no process needed).
+func (q *Queue[T]) TryPut(item T) bool {
+	if q.Full() {
+		return false
+	}
+	q.push(item)
+	return true
+}
+
+// ForcePut appends an item even past capacity (for sources, like a wire,
+// that cannot exert backpressure; the consumer should police overflow).
+func (q *Queue[T]) ForcePut(item T) { q.push(item) }
+
+func (q *Queue[T]) push(item T) {
+	q.items = append(q.items, item)
+	q.notEmpty.Broadcast()
+}
+
+// Get removes and returns the oldest item, blocking the process while the
+// queue is empty. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.notEmpty.Wait(p)
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Broadcast()
+	return item, true
+}
+
+// TryGet removes the oldest item without blocking; ok reports success.
+func (q *Queue[T]) TryGet() (item T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Broadcast()
+	return item, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (item T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Close marks the queue closed; blocked Gets return ok=false once empty.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	q.notEmpty.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }

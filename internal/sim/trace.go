@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TraceKind classifies trace records.
+type TraceKind uint8
+
+// Trace record kinds.
+const (
+	// TraceEvent is an event dispatch.
+	TraceEvent TraceKind = iota
+	// TraceTransfer is a discrete pipe transfer.
+	TraceTransfer
+	// TraceFlow is a fluid flow add/remove/demand change.
+	TraceFlow
+)
+
+// TraceRecord is one observation.
+type TraceRecord struct {
+	At    Time
+	Kind  TraceKind
+	Label string
+	Value float64
+}
+
+// Tracer observes simulation activity for debugging and analysis.
+// Tracing is off unless a Tracer is installed with Engine.SetTracer;
+// the hooks are nil-checked so the hot path pays one branch.
+type Tracer struct {
+	eng     *Engine
+	records []TraceRecord
+	limit   int
+
+	// byLabel aggregates counts for summaries.
+	byLabel map[string]int
+}
+
+// SetTracer installs (or removes, with nil) a tracer on the engine.
+func (e *Engine) SetTracer(t *Tracer) {
+	e.tracer = t
+	if t != nil {
+		t.eng = e
+	}
+}
+
+// NewTracer returns a tracer keeping at most limit records (0 = 64k).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 65536
+	}
+	return &Tracer{limit: limit, byLabel: make(map[string]int)}
+}
+
+// record appends an observation, dropping the oldest past the limit.
+func (t *Tracer) record(kind TraceKind, label string, value float64) {
+	t.byLabel[label]++
+	if len(t.records) >= t.limit {
+		copy(t.records, t.records[1:])
+		t.records = t.records[:len(t.records)-1]
+	}
+	t.records = append(t.records, TraceRecord{At: t.eng.Now(), Kind: kind, Label: label, Value: value})
+}
+
+// Records returns the retained observations, oldest first.
+func (t *Tracer) Records() []TraceRecord { return t.records }
+
+// Count returns how many records with the label were observed (including
+// dropped ones).
+func (t *Tracer) Count(label string) int { return t.byLabel[label] }
+
+// Dump writes a human-readable trace to w.
+func (t *Tracer) Dump(w io.Writer) {
+	kinds := map[TraceKind]string{TraceEvent: "event", TraceTransfer: "xfer", TraceFlow: "flow"}
+	for _, r := range t.records {
+		fmt.Fprintf(w, "%12v %-5s %-32s %g\n", time.Duration(r.At), kinds[r.Kind], r.Label, r.Value)
+	}
+}
+
+// Summary writes per-label counts, most frequent first.
+func (t *Tracer) Summary(w io.Writer) {
+	type kv struct {
+		label string
+		n     int
+	}
+	var all []kv
+	for l, n := range t.byLabel {
+		all = append(all, kv{l, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].label < all[j].label
+	})
+	for _, e := range all {
+		fmt.Fprintf(w, "%8d  %s\n", e.n, e.label)
+	}
+}
+
+// traceTransfer is called by pipes on each discrete transfer.
+func (e *Engine) traceTransfer(pipe string, bytes int64) {
+	if e.tracer != nil {
+		e.tracer.record(TraceTransfer, pipe, float64(bytes))
+	}
+}
+
+// traceFlow is called by pipes on fluid flow changes.
+func (e *Engine) traceFlow(pipe, flow string, demand float64) {
+	if e.tracer != nil {
+		e.tracer.record(TraceFlow, pipe+"/"+flow, demand)
+	}
+}

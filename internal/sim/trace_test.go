@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsTransfersAndFlows(t *testing.T) {
+	e := NewEngine()
+	tr := NewTracer(100)
+	e.SetTracer(tr)
+	p := NewPipe(e, PipeConfig{Name: "link", BytesPerSec: 1e9})
+	p.Transfer(1000, nil)
+	p.Transfer(2000, nil)
+	p.AddFlow("bulk", 5e8)
+	e.RunUntilIdle()
+	if tr.Count("link") != 2 {
+		t.Fatalf("transfer records = %d, want 2", tr.Count("link"))
+	}
+	if tr.Count("link/bulk") != 1 {
+		t.Fatalf("flow records = %d, want 1", tr.Count("link/bulk"))
+	}
+	var dump strings.Builder
+	tr.Dump(&dump)
+	if !strings.Contains(dump.String(), "xfer") || !strings.Contains(dump.String(), "flow") {
+		t.Fatalf("dump missing kinds:\n%s", dump.String())
+	}
+	var sum strings.Builder
+	tr.Summary(&sum)
+	if !strings.Contains(sum.String(), "link") {
+		t.Fatalf("summary missing label:\n%s", sum.String())
+	}
+}
+
+func TestTracerLimitDropsOldest(t *testing.T) {
+	e := NewEngine()
+	tr := NewTracer(4)
+	e.SetTracer(tr)
+	p := NewPipe(e, PipeConfig{Name: "l", BytesPerSec: 1e9})
+	for i := 0; i < 10; i++ {
+		p.Transfer(int64(i+1), nil)
+		e.RunUntilIdle()
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if recs[len(recs)-1].Value != 10 {
+		t.Fatalf("latest record = %v, want the newest transfer", recs[len(recs)-1].Value)
+	}
+	if tr.Count("l") != 10 {
+		t.Fatalf("count = %d, want 10 (counts survive drops)", tr.Count("l"))
+	}
+}
+
+func TestTracingOffByDefaultIsFree(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e, PipeConfig{Name: "l", BytesPerSec: 1e9})
+	p.Transfer(100, nil) // must not panic with no tracer installed
+	e.SetTracer(nil)
+	p.Transfer(100, nil)
+	e.RunUntilIdle()
+}
+
+func TestTracerTimestamps(t *testing.T) {
+	e := NewEngine()
+	tr := NewTracer(0)
+	e.SetTracer(tr)
+	p := NewPipe(e, PipeConfig{Name: "l", BytesPerSec: 1e9})
+	e.After(time.Microsecond, func() { p.Transfer(1, nil) })
+	e.RunUntilIdle()
+	if len(tr.Records()) != 1 || tr.Records()[0].At != Time(time.Microsecond) {
+		t.Fatalf("records = %+v", tr.Records())
+	}
+}

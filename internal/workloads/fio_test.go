@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/nvme"
+	"ioctopus/internal/topology"
+)
+
+func fioCores() []topology.CoreID {
+	return []topology.CoreID{0, 1, 2, 3, 4, 5, 6, 7} // node 0, remote from SSDs
+}
+
+func runFio(t *testing.T, streams int, policy nvme.Policy, dualPort bool) (fioGBs, streamGBs float64) {
+	t.Helper()
+	rig := core.NewStorageRig(core.StorageConfig{Drives: 4, SSDNode: 1, Policy: policy, DualPort: dualPort})
+	f := StartFio(rig, DefaultFioConfig(fioCores()))
+	var ant *Antagonist
+	if streams > 0 {
+		ant = StartAntagonistOn(rig.Host, streams, 1, 0,
+			AntagonistConfig{DemandPerInstance: 10e9})
+	}
+	rig.Run(50 * time.Millisecond)
+	f.MeasureStart()
+	if ant != nil {
+		ant.MeasureStart()
+	}
+	rig.Run(100 * time.Millisecond)
+	fioGBs = FioGBs(f.Bytes(), 100*time.Millisecond)
+	if ant != nil {
+		streamGBs = ant.WindowBytes() / 0.1 / 1e9
+	}
+	rig.Drain()
+	return
+}
+
+func TestFioSoloSaturatesDrives(t *testing.T) {
+	solo, _ := runFio(t, 0, nvme.SinglePath, false)
+	if solo < 10 || solo > 14 {
+		t.Fatalf("fio solo = %.2f GB/s, want ~12.8 (4 x 3.2)", solo)
+	}
+}
+
+func TestFioDegradesUnderUPISaturation(t *testing.T) {
+	// Figure 15: remote fio degrades by up to ~24% once STREAM
+	// saturates the interconnect; light STREAM load leaves it alone.
+	solo, _ := runFio(t, 0, nvme.SinglePath, false)
+	light, _ := runFio(t, 2, nvme.SinglePath, false)
+	heavy, streamRate := runFio(t, 10, nvme.SinglePath, false)
+	if light/solo < 0.95 {
+		t.Fatalf("light STREAM load should not hurt fio: %.2f -> %.2f", solo, light)
+	}
+	norm := heavy / solo
+	if norm < 0.6 || norm > 0.9 {
+		t.Fatalf("heavy-STREAM fio = %.2f of solo, want ~0.76", norm)
+	}
+	if streamRate == 0 {
+		t.Fatal("antagonist idle")
+	}
+}
+
+func TestFioLatencyRecorded(t *testing.T) {
+	rig := core.NewStorageRig(core.StorageConfig{Drives: 2, SSDNode: 1})
+	f := StartFio(rig, FioConfig{Cores: []topology.CoreID{0}, QueueDepth: 4, BlockSize: 128 * 1024})
+	rig.Run(20 * time.Millisecond)
+	f.MeasureStart()
+	rig.Run(50 * time.Millisecond)
+	rig.Drain()
+	if f.Latencies.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	if f.Latencies.Mean() < 100*time.Microsecond {
+		t.Fatalf("mean latency %v implausibly low for flash", f.Latencies.Mean())
+	}
+}
+
+func TestOctoSSDAvoidsInterconnect(t *testing.T) {
+	// The OctoSSD extension: with dual-port drives and local-port
+	// routing, fio's data never crosses UPI, so saturating STREAM
+	// leaves it untouched.
+	heavySingle, _ := runFio(t, 10, nvme.SinglePath, true)
+	heavyOcto, _ := runFio(t, 10, nvme.OctoSSD, true)
+	if heavyOcto <= heavySingle*1.05 {
+		t.Fatalf("OctoSSD should beat single-path under UPI load: %.2f vs %.2f GB/s", heavyOcto, heavySingle)
+	}
+	solo, _ := runFio(t, 0, nvme.OctoSSD, true)
+	if heavyOcto/solo < 0.9 {
+		t.Fatalf("OctoSSD under STREAM = %.2f of solo, want ~1.0", heavyOcto/solo)
+	}
+}
+
+func TestNVMeWritesWork(t *testing.T) {
+	rig := core.NewStorageRig(core.StorageConfig{Drives: 1, SSDNode: 0})
+	cfg := FioConfig{Cores: []topology.CoreID{0}, QueueDepth: 8, BlockSize: 64 * 1024, Write: true}
+	f := StartFio(rig, cfg)
+	rig.Run(20 * time.Millisecond)
+	f.MeasureStart()
+	rig.Run(50 * time.Millisecond)
+	gbs := FioGBs(f.Bytes(), 50*time.Millisecond)
+	drv := rig.Drives[0]
+	rig.Drain()
+	if drv.Controller().Writes() == 0 {
+		t.Fatal("no writes completed")
+	}
+	if gbs > 2.2 {
+		t.Fatalf("write throughput %.2f GB/s exceeds flash write bandwidth", gbs)
+	}
+}

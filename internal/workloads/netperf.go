@@ -1,0 +1,217 @@
+// Package workloads implements the benchmark programs of §5's
+// evaluation: netperf (TCP_STREAM and TCP_RR), pktgen, sockperf,
+// memcached driven by memslap, the STREAM memory-bandwidth antagonist,
+// and a GAP-style PageRank victim. Each drives the full simulated
+// datapath; the experiments package composes them into the paper's
+// figures.
+package workloads
+
+import (
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/topology"
+)
+
+// Direction of a stream test, from the server's perspective.
+type Direction int
+
+// Directions.
+const (
+	// Rx: the server receives (netperf TCP_STREAM toward the server).
+	Rx Direction = iota
+	// Tx: the server transmits (TCP_STREAM toward the client).
+	Tx
+)
+
+// StreamConfig configures a netperf TCP_STREAM instance set.
+type StreamConfig struct {
+	// MsgSize is the netperf buffer size per send/recv call.
+	MsgSize int64
+	// Direction is Rx (server receives) or Tx (server transmits).
+	Direction Direction
+	// ServerCores pins one netserver instance per entry.
+	ServerCores []topology.CoreID
+	// ClientCores pins the matching netperf instances (client machine).
+	ClientCores []topology.CoreID
+	// ServerIP selects the server netdevice (PF0/PF1 under standard
+	// firmware).
+	ServerIP uint32
+	// Port is the base control port (each instance uses Port+i).
+	Port uint16
+}
+
+// Stream is a running TCP_STREAM workload.
+type Stream struct {
+	cfg      StreamConfig
+	received []int64 // per instance, measured at the receiving app
+	baseline []int64
+}
+
+// StartStream launches the instances. Call MeasureStart after warmup
+// and Bytes at the end of the window.
+func StartStream(cl *core.Cluster, cfg StreamConfig) *Stream {
+	if cfg.Port == 0 {
+		cfg.Port = 12000
+	}
+	if len(cfg.ClientCores) == 0 {
+		cfg.ClientCores = make([]topology.CoreID, len(cfg.ServerCores))
+		for i := range cfg.ClientCores {
+			cfg.ClientCores[i] = topology.CoreID(i % 14)
+		}
+	}
+	w := &Stream{
+		cfg:      cfg,
+		received: make([]int64, len(cfg.ServerCores)),
+		baseline: make([]int64, len(cfg.ServerCores)),
+	}
+	for i := range cfg.ServerCores {
+		i := i
+		port := cfg.Port + uint16(i)
+		switch cfg.Direction {
+		case Rx:
+			// Server receives: netserver sink on the server core.
+			cl.Server.Stack.Listen(port, func(s *netstack.Socket) {
+				cl.Server.Kernel.Spawn("netserver", cfg.ServerCores[i], func(th *kernel.Thread) {
+					s.SetOwner(th)
+					for {
+						n, _, ok := s.Recv(th)
+						if !ok {
+							return
+						}
+						w.received[i] += n
+					}
+				})
+			})
+			cl.Client.Kernel.Spawn("netperf", cfg.ClientCores[i], func(th *kernel.Thread) {
+				sock, err := cl.Client.Stack.Dial(th, cfg.ServerIP, port, eth.ProtoTCP)
+				if err != nil {
+					panic(err)
+				}
+				for {
+					sock.Send(th, cfg.MsgSize)
+				}
+			})
+		case Tx:
+			// Server transmits: sink on the client; per the testbed the
+			// client splits softirq and app across its NIC-local cores.
+			sinkCore := cfg.ClientCores[i]
+			appCore := topology.CoreID((int(sinkCore) + 1) % 14)
+			cl.Client.Stack.Listen(port, func(s *netstack.Socket) {
+				s.SteerTo(sinkCore)
+				cl.Client.Kernel.Spawn("netserver", appCore, func(th *kernel.Thread) {
+					for {
+						n, _, ok := s.Recv(th)
+						if !ok {
+							return
+						}
+						w.received[i] += n
+					}
+				})
+			})
+			cl.Server.Kernel.Spawn("netperf", cfg.ServerCores[i], func(th *kernel.Thread) {
+				sock, err := cl.Server.Stack.Dial(th, core.IPClient, port, eth.ProtoTCP)
+				if err != nil {
+					panic(err)
+				}
+				for {
+					sock.Send(th, cfg.MsgSize)
+				}
+			})
+		}
+	}
+	return w
+}
+
+// MeasureStart marks the beginning of the measurement window.
+func (w *Stream) MeasureStart() {
+	copy(w.baseline, w.received)
+}
+
+// Bytes returns application bytes moved since MeasureStart, summed
+// over instances.
+func (w *Stream) Bytes() int64 {
+	var total int64
+	for i, r := range w.received {
+		total += r - w.baseline[i]
+	}
+	return total
+}
+
+// RRConfig configures a netperf TCP_RR (request/response) instance.
+type RRConfig struct {
+	MsgSize    int64
+	ServerCore topology.CoreID
+	ClientCore topology.CoreID
+	ServerIP   uint32
+	Port       uint16
+	Proto      uint8 // eth.ProtoTCP (netperf TCP_RR) or eth.ProtoUDP (sockperf)
+}
+
+// RR is a running request/response workload.
+type RR struct {
+	Hist      *metrics.Histogram
+	measuring bool
+}
+
+// StartRR launches the ping-pong pair. Call MeasureStart after warmup;
+// Hist then accumulates round-trip samples.
+func StartRR(cl *core.Cluster, cfg RRConfig) *RR {
+	if cfg.Port == 0 {
+		cfg.Port = 13000
+	}
+	if cfg.Proto == 0 {
+		cfg.Proto = eth.ProtoTCP
+	}
+	w := &RR{Hist: &metrics.Histogram{}}
+	cl.Server.Stack.Listen(cfg.Port, func(s *netstack.Socket) {
+		cl.Server.Kernel.Spawn("rr-echo", cfg.ServerCore, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				n, _, ok := s.Recv(th)
+				if !ok {
+					return
+				}
+				s.SendMsg(th, n, nil)
+			}
+		})
+	})
+	cl.Client.Kernel.Spawn("rr-client", cfg.ClientCore, func(th *kernel.Thread) {
+		sock, err := cl.Client.Stack.Dial(th, cfg.ServerIP, cfg.Port, cfg.Proto)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			t0 := th.Now()
+			sock.SendMsg(th, cfg.MsgSize, nil)
+			var got int64
+			for got < cfg.MsgSize {
+				n, _, ok := sock.Recv(th)
+				if !ok {
+					return
+				}
+				got += n
+			}
+			if w.measuring {
+				w.Hist.Add(th.Now().Sub(t0))
+			}
+		}
+	})
+	return w
+}
+
+// MeasureStart begins recording round trips.
+func (w *RR) MeasureStart() { w.measuring = true }
+
+// MeasureStop pauses recording.
+func (w *RR) MeasureStop() { w.measuring = false }
+
+// Transactions returns completed measured round trips.
+func (w *RR) Transactions() int { return w.Hist.Count() }
+
+// Mean returns the mean measured RTT.
+func (w *RR) Mean() time.Duration { return w.Hist.Mean() }

@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// PageRankConfig configures the GAP-style parallel PageRank victim of
+// §5.2: a multi-threaded, memory-bound graph kernel whose threads scan
+// a graph spread across both NUMA nodes (interleaved pages), so its
+// runtime tracks the memory and interconnect bandwidth it can get.
+type PageRankConfig struct {
+	// ThreadsPerNode pins this many threads on each socket (paper: 8).
+	ThreadsPerNode int
+	// WorkBytesPerThread is how much graph data each thread must stream
+	// before the computation converges.
+	WorkBytesPerThread float64
+	// DemandPerThread is a thread's unconstrained memory rate.
+	DemandPerThread float64
+	// LocalFraction is the share of a thread's accesses that hit its
+	// own node (interleaved graph: ~0.5 on two sockets).
+	LocalFraction float64
+	// LatencySensitivity scales how much memory/interconnect latency
+	// inflation slows the kernel (0 = pure bandwidth-bound, 1 = fully
+	// latency-bound; graph kernels with some MLP sit in between).
+	LatencySensitivity float64
+	// PollInterval is how often completion is checked.
+	PollInterval time.Duration
+}
+
+// DefaultPageRankConfig returns testbed-like settings (~47 s solo
+// runtime, matching Figure 13's scale).
+func DefaultPageRankConfig() PageRankConfig {
+	return PageRankConfig{
+		ThreadsPerNode:     8,
+		WorkBytesPerThread: 8e9,
+		DemandPerThread:    3e9,
+		LocalFraction:      0.5,
+		LatencySensitivity: 0.35,
+		PollInterval:       5 * time.Millisecond,
+	}
+}
+
+// PageRank is a running (or finished) PageRank job.
+type PageRank struct {
+	host     *core.Host
+	cfg      PageRankConfig
+	started  sim.Time
+	finished sim.Time
+	pending  int
+	done     bool
+}
+
+// prThread is one PageRank thread's flows and progress.
+type prThread struct {
+	node     topology.NodeID
+	other    topology.NodeID
+	local    *sim.FluidFlow
+	remote   *sim.FluidFlow
+	fabric   *sim.FluidFlow
+	progress float64 // bytes of work completed
+}
+
+// advance accrues dt of progress. The thread streams at its achieved
+// fluid rate, further derated by latency inflation on the resources it
+// traverses: the kernel is partially latency-bound, so congestion slows
+// it even when fair-share bandwidth remains (the Figure 13 effect).
+func (pt *prThread) advance(pr *PageRank, dt float64) {
+	sens := pr.cfg.LatencySensitivity
+	derate := func(infl float64) float64 { return 1 / (1 + (infl-1)*sens) }
+	mem := pr.host.Mem
+	localRate := pt.local.Rate() * derate(mem.MemCtl(pt.node).Inflation())
+	remInfl := mem.MemCtl(pt.other).Inflation()
+	if f := pr.host.Fabric.Pipe(pt.other, pt.node).Inflation(); f > remInfl {
+		remInfl = f
+	}
+	remoteRate := pt.remote.Rate()
+	if fr := pt.fabric.Rate(); fr < remoteRate {
+		remoteRate = fr
+	}
+	remoteRate *= derate(remInfl)
+	pt.progress += (localRate + remoteRate) * dt
+}
+
+// StartPageRank launches the job on the host.
+func StartPageRank(h *core.Host, cfg PageRankConfig) *PageRank {
+	pr := &PageRank{host: h, cfg: cfg, started: h.Kernel.Engine().Now()}
+	nodes := h.Topo.NumNodes()
+	for n := 0; n < nodes; n++ {
+		node := topology.NodeID(n)
+		other := topology.NodeID((n + 1) % nodes)
+		for i := 0; i < cfg.ThreadsPerNode; i++ {
+			name := fmt.Sprintf("pr%d.%d", n, i)
+			pt := &prThread{
+				node:   node,
+				other:  other,
+				local:  h.Mem.MemCtl(node).AddFlow(name+":l", cfg.DemandPerThread*cfg.LocalFraction),
+				remote: h.Mem.MemCtl(other).AddFlow(name+":r", cfg.DemandPerThread*(1-cfg.LocalFraction)),
+				fabric: h.Fabric.AddFlow(name, other, node, cfg.DemandPerThread*(1-cfg.LocalFraction)),
+			}
+			pr.pending++
+			pr.watch(pt)
+		}
+	}
+	return pr
+}
+
+// watch polls one thread for completion.
+func (pr *PageRank) watch(pt *prThread) {
+	eng := pr.host.Kernel.Engine()
+	var poll func()
+	poll = func() {
+		pt.advance(pr, pr.cfg.PollInterval.Seconds())
+		if pt.progress >= pr.cfg.WorkBytesPerThread {
+			pt.local.Remove()
+			pt.remote.Remove()
+			pt.fabric.Remove()
+			pr.pending--
+			if pr.pending == 0 {
+				pr.done = true
+				pr.finished = eng.Now()
+			}
+			return
+		}
+		eng.After(pr.cfg.PollInterval, poll)
+	}
+	eng.After(pr.cfg.PollInterval, poll)
+}
+
+// Done reports whether every thread finished.
+func (pr *PageRank) Done() bool { return pr.done }
+
+// Runtime returns the job's wall time (valid once Done).
+func (pr *PageRank) Runtime() time.Duration {
+	if !pr.done {
+		return 0
+	}
+	return pr.finished.Sub(pr.started)
+}

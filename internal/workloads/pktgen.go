@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// RawTxDevice is the driver surface pktgen needs: the socket-bypassing
+// transmit path plus the XPS queue map. Both drivers provide it.
+type RawTxDevice interface {
+	netstack.NetDevice
+	RawTx(t *kernel.Thread, pkt *netstack.Packet, txq int)
+}
+
+// PktgenConfig configures the in-kernel packet generator (§5.1.1,
+// Figure 8): one kernel thread blasting identical packets at a device
+// queue, in batches, reusing the same payload buffer.
+type PktgenConfig struct {
+	Core    topology.CoreID
+	PktSize int64
+	// Batch is packets per burst (pktgen's burst/clone_skb behaviour).
+	Batch int
+	// PerPacketCost is pktgen's own per-packet CPU work (skb setup,
+	// counters) — excludes descriptor/doorbell/completion costs, which
+	// the driver and memory system charge.
+	PerPacketCost time.Duration
+	// MaxOutstanding bounds unreaped bursts (ring occupancy control).
+	MaxOutstanding int
+}
+
+// DefaultPktgenConfig returns the calibrated defaults for the figure.
+func DefaultPktgenConfig(coreID topology.CoreID, pktSize int64) PktgenConfig {
+	return PktgenConfig{
+		Core:           coreID,
+		PktSize:        pktSize,
+		Batch:          64,
+		PerPacketCost:  150 * time.Nanosecond,
+		MaxOutstanding: 8,
+	}
+}
+
+// Pktgen is a running packet generator.
+type Pktgen struct {
+	cfg      PktgenConfig
+	sent     uint64 // packets fully transmitted (completion reaped)
+	baseline uint64
+}
+
+// StartPktgen launches the generator on the server, transmitting
+// through dev toward the client NIC.
+func StartPktgen(cl *core.Cluster, dev RawTxDevice, cfg PktgenConfig) *Pktgen {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 8
+	}
+	w := &Pktgen{cfg: cfg}
+	node := cl.Server.Topo.NodeOf(cfg.Core)
+	// The payload region pktgen clones from: written once, then reused
+	// (hot in the sender's LLC — the Figure 8 setup).
+	payload := cl.Server.Mem.NewBuffer("pktgen-payload", node, cfg.PktSize*int64(cfg.Batch))
+
+	cl.Server.Kernel.Spawn("pktgen", cfg.Core, func(th *kernel.Thread) {
+		// Initialize the payload (allocates it into the LLC).
+		th.ExecFn(func() time.Duration {
+			return cl.Server.Mem.CPUWrite(th.Node(), payload, payload.Size())
+		})
+		outstanding := 0
+		sig := sim.NewSignal(cl.Eng)
+		flow := eth.FiveTuple{SrcIP: core.IPServerPF0, DstIP: core.IPClient, SrcPort: 9, DstPort: 9, Proto: eth.ProtoUDP}
+		txq := dev.TxQueueForCore(cfg.Core)
+		for {
+			for outstanding >= cfg.MaxOutstanding {
+				th.Wait(sig)
+			}
+			outstanding++
+			th.Exec(time.Duration(cfg.Batch) * cfg.PerPacketCost)
+			dev.RawTx(th, &netstack.Packet{
+				Flow:        flow,
+				DstMAC:      cl.ClientDev.HWAddr(),
+				Payload:     cfg.PktSize * int64(cfg.Batch),
+				Packets:     cfg.Batch,
+				Descriptors: cfg.Batch,
+				Frags:       []netstack.Frag{{Buf: payload, Bytes: cfg.PktSize * int64(cfg.Batch)}},
+				Proto:       eth.ProtoUDP,
+				OnSent: func() {
+					outstanding--
+					w.sent += uint64(cfg.Batch)
+					sig.Broadcast()
+				},
+			}, txq)
+		}
+	})
+	return w
+}
+
+// MeasureStart marks the measurement window start.
+func (w *Pktgen) MeasureStart() { w.baseline = w.sent }
+
+// Packets returns packets transmitted since MeasureStart.
+func (w *Pktgen) Packets() uint64 { return w.sent - w.baseline }
+
+// PayloadBytes returns payload bytes transmitted since MeasureStart.
+func (w *Pktgen) PayloadBytes() int64 { return int64(w.Packets()) * w.cfg.PktSize }

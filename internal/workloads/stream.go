@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// AntagonistConfig configures STREAM memory-bandwidth antagonists
+// (§5.2): pairs of single-core STREAM instances that target memory
+// remote to their CPU, one reading and one writing, saturating the
+// interconnect and polluting the LLC.
+type AntagonistConfig struct {
+	// Pairs of (reader, writer) instances.
+	Pairs int
+	// DemandPerInstance is one instance's memory demand in bytes/sec
+	// (single-core STREAM on the testbed: ~8-11 GB/s).
+	DemandPerInstance float64
+	// LLCPollutionFactor scales how much of an instance's bandwidth
+	// allocates into its socket's LLC (1 = every line).
+	LLCPollutionFactor float64
+}
+
+// DefaultAntagonistConfig returns testbed-calibrated settings.
+func DefaultAntagonistConfig(pairs int) AntagonistConfig {
+	return AntagonistConfig{
+		Pairs:              pairs,
+		DemandPerInstance:  11e9,
+		LLCPollutionFactor: 1,
+	}
+}
+
+// streamInstance is one running STREAM thread's resource registrations.
+type streamInstance struct {
+	fabricFlow *sim.FluidFlow
+	memFlow    *sim.FluidFlow
+	release    func()
+}
+
+// rate is the instance's achieved bandwidth: the minimum over the
+// resources it traverses.
+func (si *streamInstance) rate() float64 {
+	return math.Min(si.fabricFlow.Rate(), si.memFlow.Rate())
+}
+
+func (si *streamInstance) bytes() float64 {
+	return math.Min(si.fabricFlow.Bytes(), si.memFlow.Bytes())
+}
+
+// Antagonist is a running set of STREAM pairs on one host.
+type Antagonist struct {
+	host      *core.Host
+	instances []*streamInstance
+	baseline  float64
+	stopped   bool
+}
+
+// StartAntagonist launches the STREAM pairs on the host. Pair i places
+// its reader on node i%2 and its writer on the other node, each
+// targeting remote memory, loading both interconnect directions and
+// both memory controllers as the paper's co-location setup does.
+func StartAntagonist(h *core.Host, cfg AntagonistConfig) *Antagonist {
+	if cfg.DemandPerInstance <= 0 {
+		cfg.DemandPerInstance = 8e9
+	}
+	a := &Antagonist{host: h}
+	nodes := h.Topo.NumNodes()
+	for p := 0; p < cfg.Pairs; p++ {
+		readerNode := topology.NodeID(p % nodes)
+		writerNode := topology.NodeID((p + 1) % nodes)
+		a.instances = append(a.instances,
+			a.addInstance(fmt.Sprintf("stream-r%d", p), readerNode, other(readerNode, nodes), true, cfg),
+			a.addInstance(fmt.Sprintf("stream-w%d", p), writerNode, other(writerNode, nodes), false, cfg),
+		)
+	}
+	return a
+}
+
+func other(n topology.NodeID, nodes int) topology.NodeID {
+	return topology.NodeID((int(n) + 1) % nodes)
+}
+
+// addInstance registers one STREAM thread on cpuNode targeting memory
+// on memNode.
+func (a *Antagonist) addInstance(name string, cpuNode, memNode topology.NodeID, read bool, cfg AntagonistConfig) *streamInstance {
+	h := a.host
+	si := &streamInstance{}
+	if read {
+		// Data flows memNode -> cpuNode.
+		si.fabricFlow = h.Fabric.AddFlow(name, memNode, cpuNode, cfg.DemandPerInstance)
+	} else {
+		// Writes flow cpuNode -> memNode.
+		si.fabricFlow = h.Fabric.AddFlow(name, cpuNode, memNode, cfg.DemandPerInstance)
+	}
+	si.memFlow = h.Mem.MemCtl(memNode).AddFlow(name, cfg.DemandPerInstance)
+	factor := cfg.LLCPollutionFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	si.release = h.Mem.AddLLCPressure(cpuNode, cfg.DemandPerInstance*factor)
+	return si
+}
+
+// Rate returns the aggregate achieved STREAM bandwidth (bytes/sec).
+func (a *Antagonist) Rate() float64 {
+	var r float64
+	for _, si := range a.instances {
+		r += si.rate()
+	}
+	return r
+}
+
+// MeasureStart marks the measurement window start.
+func (a *Antagonist) MeasureStart() { a.baseline = a.Bytes() }
+
+// Bytes returns aggregate bytes moved (absolute; subtract MeasureStart
+// baseline via Window).
+func (a *Antagonist) Bytes() float64 {
+	var b float64
+	for _, si := range a.instances {
+		b += si.bytes()
+	}
+	return b
+}
+
+// WindowBytes returns bytes moved since MeasureStart.
+func (a *Antagonist) WindowBytes() float64 { return a.Bytes() - a.baseline }
+
+// Instances returns the instance count (2 per pair).
+func (a *Antagonist) Instances() int { return len(a.instances) }
+
+// Stop removes all flows and LLC pressure.
+func (a *Antagonist) Stop() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	for _, si := range a.instances {
+		si.fabricFlow.Remove()
+		si.memFlow.Remove()
+		si.release()
+	}
+}

@@ -1,0 +1,251 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/driver"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/topology"
+)
+
+func TestStreamRxMeasures(t *testing.T) {
+	cl := core.NewCluster(core.Config{Mode: core.ModeIOctopus})
+	w := StartStream(cl, StreamConfig{
+		MsgSize: 64 * 1024, Direction: Rx,
+		ServerCores: []topology.CoreID{0},
+		ServerIP:    core.IPServerPF0,
+	})
+	cl.Run(5 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(10 * time.Millisecond)
+	gbps := metrics.Gbps(float64(w.Bytes()), 10*time.Millisecond)
+	cl.Drain()
+	if gbps < 10 {
+		t.Fatalf("stream Rx = %.1f Gb/s, too slow", gbps)
+	}
+}
+
+func TestStreamTxDirection(t *testing.T) {
+	cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+	w := StartStream(cl, StreamConfig{
+		MsgSize: 64 * 1024, Direction: Tx,
+		ServerCores: []topology.CoreID{0},
+		ClientCores: []topology.CoreID{0},
+		ServerIP:    core.IPServerPF0,
+	})
+	cl.Run(5 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(10 * time.Millisecond)
+	gbps := metrics.Gbps(float64(w.Bytes()), 10*time.Millisecond)
+	cl.Drain()
+	if gbps < 25 {
+		t.Fatalf("stream Tx = %.1f Gb/s, want ~45", gbps)
+	}
+}
+
+func TestMultiInstanceStreamScales(t *testing.T) {
+	cl := core.NewCluster(core.Config{Mode: core.ModeIOctopus})
+	w := StartStream(cl, StreamConfig{
+		MsgSize: 64 * 1024, Direction: Rx,
+		ServerCores: []topology.CoreID{0, 1, 2, 3, 14, 15, 16, 17},
+		ClientCores: []topology.CoreID{0, 1, 2, 3, 4, 5, 6, 7},
+		ServerIP:    core.IPServerPF0,
+	})
+	cl.Run(5 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(10 * time.Millisecond)
+	gbps := metrics.Gbps(float64(w.Bytes()), 10*time.Millisecond)
+	cl.Drain()
+	// Eight single-core flows should push well past one flow's ~23.
+	if gbps < 60 {
+		t.Fatalf("8-instance Rx = %.1f Gb/s, want near line rate", gbps)
+	}
+}
+
+func TestRRLatencyLocalVsRemote(t *testing.T) {
+	run := func(serverCore topology.CoreID) time.Duration {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard, DisableCoalescing: true})
+		w := StartRR(cl, RRConfig{
+			MsgSize: 64, ServerCore: serverCore, ClientCore: 0,
+			ServerIP: core.IPServerPF0,
+		})
+		cl.Run(2 * time.Millisecond)
+		w.MeasureStart()
+		cl.Run(20 * time.Millisecond)
+		cl.Drain()
+		if w.Transactions() < 50 {
+			t.Fatalf("only %d transactions", w.Transactions())
+		}
+		return w.Mean()
+	}
+	ll := run(0)
+	rr := run(14)
+	ratio := float64(rr) / float64(ll)
+	if ratio < 1.03 || ratio > 1.45 {
+		t.Fatalf("rr/ll latency = %.3f (ll=%v rr=%v), want ~1.10-1.25", ratio, ll, rr)
+	}
+}
+
+func TestSockperfUDPLatency(t *testing.T) {
+	cl := core.NewCluster(core.Config{Mode: core.ModeStandard, DisableCoalescing: true})
+	w := StartRR(cl, RRConfig{
+		MsgSize: 64, ServerCore: 0, ClientCore: 0,
+		ServerIP: core.IPServerPF0, Proto: eth.ProtoUDP,
+	})
+	cl.Run(2 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(10 * time.Millisecond)
+	cl.Drain()
+	if w.Transactions() == 0 {
+		t.Fatal("no UDP transactions")
+	}
+	if w.Hist.Percentile(99) < w.Hist.Percentile(50) {
+		t.Fatal("percentiles not ordered")
+	}
+}
+
+func TestPktgenLocalBeatsRemote(t *testing.T) {
+	run := func(coreID topology.CoreID) float64 {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+		dev := cl.Dev0.(*driver.Standard) // PF0 on node 0
+		w := StartPktgen(cl, dev, DefaultPktgenConfig(coreID, 64))
+		cl.Run(2 * time.Millisecond)
+		w.MeasureStart()
+		cl.Run(10 * time.Millisecond)
+		cl.Drain()
+		return float64(w.Packets()) / 0.010 / 1e6 // MPPS
+	}
+	local := run(0)
+	remote := run(14)
+	if local < 2.5 || local > 6 {
+		t.Fatalf("local pktgen = %.2f MPPS, want ~4.1", local)
+	}
+	ratio := local / remote
+	if ratio < 1.15 || ratio > 1.7 {
+		t.Fatalf("local/remote = %.2f (%.2f vs %.2f MPPS), want ~1.33", ratio, local, remote)
+	}
+}
+
+func TestAntagonistDegradesRemoteStream(t *testing.T) {
+	run := func(pairs int) float64 {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+		w := StartStream(cl, StreamConfig{
+			MsgSize: 64 * 1024, Direction: Rx,
+			ServerCores: []topology.CoreID{14}, // remote to PF0
+			ServerIP:    core.IPServerPF0,
+		})
+		var ant *Antagonist
+		if pairs > 0 {
+			ant = StartAntagonist(cl.Server, DefaultAntagonistConfig(pairs))
+		}
+		cl.Run(5 * time.Millisecond)
+		w.MeasureStart()
+		cl.Run(10 * time.Millisecond)
+		cl.Drain()
+		if ant != nil && ant.Rate() == 0 {
+			t.Fatal("antagonist moved no data")
+		}
+		return metrics.Gbps(float64(w.Bytes()), 10*time.Millisecond)
+	}
+	solo := run(0)
+	loaded := run(6)
+	if loaded >= solo*0.8 {
+		t.Fatalf("6 STREAM pairs should crush remote Rx: %.1f -> %.1f Gb/s", solo, loaded)
+	}
+}
+
+func TestAntagonistStopRestores(t *testing.T) {
+	cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+	ant := StartAntagonist(cl.Server, DefaultAntagonistConfig(3))
+	cl.Run(time.Millisecond)
+	if ant.Rate() == 0 {
+		t.Fatal("antagonist idle")
+	}
+	ant.Stop()
+	if ant.Rate() != 0 {
+		t.Fatal("Stop did not remove flows")
+	}
+	if u := cl.Server.Fabric.Utilization(0, 1); u > 0.05 {
+		t.Fatalf("fabric still loaded after Stop: %.2f", u)
+	}
+	cl.Drain()
+}
+
+func TestPageRankRuntimeScalesWithContention(t *testing.T) {
+	solo := func() time.Duration {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+		cfg := DefaultPageRankConfig()
+		cfg.WorkBytesPerThread = 100e6 // shrink for test speed
+		pr := StartPageRank(cl.Server, cfg)
+		cl.Run(2 * time.Second)
+		cl.Drain()
+		if !pr.Done() {
+			t.Fatal("pagerank did not finish")
+		}
+		return pr.Runtime()
+	}()
+	contended := func() time.Duration {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+		cfg := DefaultPageRankConfig()
+		cfg.WorkBytesPerThread = 100e6
+		pr := StartPageRank(cl.Server, cfg)
+		StartAntagonist(cl.Server, DefaultAntagonistConfig(6))
+		cl.Run(5 * time.Second)
+		cl.Drain()
+		if !pr.Done() {
+			t.Fatal("contended pagerank did not finish")
+		}
+		return pr.Runtime()
+	}()
+	if contended <= solo {
+		t.Fatalf("contention should slow PageRank: %v vs %v", solo, contended)
+	}
+}
+
+func TestMemcachedServesGetsAndSets(t *testing.T) {
+	cl := core.NewCluster(core.Config{Mode: core.ModeIOctopus})
+	cfg := DefaultMemcachedConfig(0, cl)
+	cfg.SetRatio = 0.5
+	cfg.ClientCores = cfg.ClientCores[:4] // lighter for the test
+	cfg.ServerCores = cfg.ServerCores[:4]
+	w := StartMemcached(cl, cfg)
+	cl.Run(10 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(30 * time.Millisecond)
+	txns := w.Transactions()
+	cl.Drain()
+	if txns == 0 {
+		t.Fatal("no memcached transactions completed")
+	}
+	// Slab must show memory activity (values exceed the LLC).
+	if cl.Server.Mem.TotalDRAMBytes() == 0 {
+		t.Fatal("memcached working set should touch DRAM")
+	}
+}
+
+func TestMemcachedRemoteSlower(t *testing.T) {
+	run := func(node topology.NodeID) uint64 {
+		cl := core.NewCluster(core.Config{Mode: core.ModeStandard})
+		cfg := DefaultMemcachedConfig(node, cl)
+		cfg.SetRatio = 1.0 // SETs maximize the Rx-side NUDMA penalty
+		cfg.ClientCores = cfg.ClientCores[:6]
+		cfg.ServerCores = cfg.ServerCores[:6]
+		w := StartMemcached(cl, cfg)
+		cl.Run(10 * time.Millisecond)
+		w.MeasureStart()
+		cl.Run(40 * time.Millisecond)
+		cl.Drain()
+		return w.Transactions()
+	}
+	local := run(0)
+	remote := run(1)
+	if local == 0 || remote == 0 {
+		t.Fatalf("no transactions: local=%d remote=%d", local, remote)
+	}
+	if float64(local)/float64(remote) < 1.02 {
+		t.Fatalf("local/remote = %.3f (%d vs %d), want > 1", float64(local)/float64(remote), local, remote)
+	}
+}

@@ -1,0 +1,178 @@
+// Package ioctopus is a full-system simulation of IOctopus (Smolyar et
+// al., ASPLOS 2020): a device architecture that eliminates nonuniform
+// DMA (NUDMA) by unifying one physical function per CPU socket into a
+// single logical device, steered by flow (IOctoRFS) instead of by MAC.
+//
+// The library models the paper's entire testbed — dual-socket NUMA
+// servers, QPI/UPI interconnect, LLC with DDIO, PCIe fabric with
+// bifurcation, a multi-queue 100 GbE NIC with standard and IOctopus
+// firmware, the Linux-like kernel/netstack/driver stack, NVMe storage,
+// and every benchmark of the evaluation (netperf, pktgen, sockperf,
+// memcached, STREAM, PageRank, fio) — as a deterministic discrete-event
+// simulation.
+//
+// Quick start:
+//
+//	cl := ioctopus.NewCluster(ioctopus.Config{Mode: ioctopus.ModeIOctopus})
+//	defer cl.Drain()
+//	// drive workloads (see package workloads re-exports below), then
+//	cl.Run(50 * time.Millisecond)
+//
+// Or reproduce a paper figure directly:
+//
+//	res, err := ioctopus.RunExperiment("fig6", ioctopus.FullDurations())
+//	fmt.Println(res.Render())
+package ioctopus
+
+import (
+	"ioctopus/internal/core"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/experiments"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/nvme"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/topology"
+	"ioctopus/internal/workloads"
+)
+
+// Thread is a simulated kernel thread; application code in examples and
+// workloads runs on Threads and consumes CPU through them.
+type Thread = kernel.Thread
+
+// Socket is a connected TCP/UDP endpoint on a host's stack.
+type Socket = netstack.Socket
+
+// CoreID identifies a core; NodeID a NUMA node.
+type (
+	CoreID = topology.CoreID
+	NodeID = topology.NodeID
+)
+
+// Transport protocol numbers for Dial.
+const (
+	ProtoTCP = eth.ProtoTCP
+	ProtoUDP = eth.ProtoUDP
+)
+
+// Cluster is the two-machine testbed of §5: a dual-socket server with a
+// bifurcated multi-PF NIC, cabled back-to-back to a client.
+type Cluster = core.Cluster
+
+// Config selects the cluster's NIC mode, wiring and knobs.
+type Config = core.Config
+
+// Host is one assembled machine (kernel, memory system, PCIe, stack).
+type Host = core.Host
+
+// NICMode selects the standard firmware (per-PF netdevices) or the
+// IOctopus firmware (one netdevice, IOctoRFS steering).
+type NICMode = core.NICMode
+
+// NIC modes.
+const (
+	ModeStandard = core.ModeStandard
+	ModeIOctopus = core.ModeIOctopus
+)
+
+// Well-known testbed addresses.
+const (
+	IPServerPF0 = core.IPServerPF0
+	IPServerPF1 = core.IPServerPF1
+	IPClient    = core.IPClient
+)
+
+// Wiring options for reaching multiple sockets (§3.2).
+type Wiring = pcie.Wiring
+
+// Wirings.
+const (
+	WiringBifurcated = pcie.WiringBifurcated
+	WiringExtender   = pcie.WiringExtender
+	WiringRiser      = pcie.WiringRiser
+	WiringSwitch     = pcie.WiringSwitch
+)
+
+// NewCluster builds the testbed.
+func NewCluster(cfg Config) *Cluster { return core.NewCluster(cfg) }
+
+// StorageRig is the §5.4 NVMe testbed.
+type StorageRig = core.StorageRig
+
+// StorageConfig configures it.
+type StorageConfig = core.StorageConfig
+
+// NVMe driver routing policies.
+const (
+	NVMeSinglePath = nvme.SinglePath
+	NVMeOctoSSD    = nvme.OctoSSD
+)
+
+// NewStorageRig builds the storage testbed.
+func NewStorageRig(cfg StorageConfig) *StorageRig { return core.NewStorageRig(cfg) }
+
+// Topology constructors for custom setups.
+var (
+	// DualBroadwell is the paper's networking testbed machine.
+	DualBroadwell = topology.DualBroadwell
+	// DualSkylake is the paper's storage testbed machine.
+	DualSkylake = topology.DualSkylake
+	// QuadSocket is a four-socket machine (an octoNIC with four limbs).
+	QuadSocket = topology.QuadSocket
+)
+
+// Workload re-exports: the benchmark programs of the evaluation.
+type (
+	// StreamConfig configures netperf TCP_STREAM instances.
+	StreamConfig = workloads.StreamConfig
+	// RRConfig configures netperf TCP_RR / sockperf ping-pong.
+	RRConfig = workloads.RRConfig
+	// PktgenConfig configures the in-kernel packet generator.
+	PktgenConfig = workloads.PktgenConfig
+	// MemcachedConfig configures memcached + memslap.
+	MemcachedConfig = workloads.MemcachedConfig
+	// AntagonistConfig configures STREAM memory antagonists.
+	AntagonistConfig = workloads.AntagonistConfig
+	// PageRankConfig configures the memory-bound PageRank victim.
+	PageRankConfig = workloads.PageRankConfig
+	// FioConfig configures the fio NVMe job.
+	FioConfig = workloads.FioConfig
+)
+
+// Workload starters.
+var (
+	StartStream     = workloads.StartStream
+	StartRR         = workloads.StartRR
+	StartPktgen     = workloads.StartPktgen
+	StartMemcached  = workloads.StartMemcached
+	StartAntagonist = workloads.StartAntagonist
+	StartPageRank   = workloads.StartPageRank
+	StartFio        = workloads.StartFio
+)
+
+// Rx and Tx are stream directions (from the server's perspective).
+const (
+	Rx = workloads.Rx
+	Tx = workloads.Tx
+)
+
+// ExperimentResult is one reproduced figure: tables, series, checks.
+type ExperimentResult = experiments.Result
+
+// Durations scales experiment windows.
+type Durations = experiments.Durations
+
+// QuickDurations returns short windows (tests, smoke runs).
+func QuickDurations() Durations { return experiments.Quick() }
+
+// FullDurations returns the windows the committed results use.
+func FullDurations() Durations { return experiments.Full() }
+
+// RunExperiment reproduces one paper figure by id (fig2, fig6..fig15,
+// fig6-multicore, fig15-octossd, ablation-*).
+func RunExperiment(id string, d Durations) (*ExperimentResult, error) {
+	return experiments.Run(id, d)
+}
+
+// ExperimentIDs lists all reproducible artifacts.
+func ExperimentIDs() []string { return experiments.IDs() }
