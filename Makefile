@@ -1,0 +1,17 @@
+# Convenience targets; `make check` is the verification gate.
+
+.PHONY: check test bench build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# vet + build + race (sim, experiments) + full test suite.
+check:
+	./scripts/check.sh
+
+# Regenerate the performance numbers behind BENCH_sim.json.
+bench:
+	go test -run '^$$' -bench 'BenchmarkSimulatorEventRate|BenchmarkAllFiguresQuick' -benchmem .

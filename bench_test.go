@@ -10,6 +10,8 @@
 package ioctopus_test
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -103,6 +105,43 @@ func BenchmarkAblationIOctoSG(b *testing.B) { runFigure(b, "ablation-sg") }
 // tradeoff.
 func BenchmarkAblationCoalescing(b *testing.B) { runFigure(b, "ablation-window") }
 
+// benchAllQuick regenerates every artifact at quick durations — the
+// `ioctobench -fig all -quick` workload — with the harness bounded to
+// the given parallelism and whole experiments fanned out the same way
+// the CLI does.
+func benchAllQuick(b *testing.B, par int) {
+	b.Helper()
+	old := ioctopus.Parallelism()
+	ioctopus.SetParallelism(par)
+	defer ioctopus.SetParallelism(old)
+	ids := ioctopus.ExperimentIDs()
+	for i := 0; i < b.N; i++ {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if _, err := ioctopus.RunExperiment(id, ioctopus.QuickDurations()); err != nil {
+					b.Error(err)
+				}
+			}(id)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkAllFiguresQuickSerial is the `-fig all -quick` wall clock at
+// -parallel 1.
+func BenchmarkAllFiguresQuickSerial(b *testing.B) { benchAllQuick(b, 1) }
+
+// BenchmarkAllFiguresQuickParallel is the same workload at the default
+// parallelism (GOMAXPROCS); on a multi-core host the ratio to the
+// serial benchmark is the harness fan-out speedup.
+func BenchmarkAllFiguresQuickParallel(b *testing.B) { benchAllQuick(b, runtime.GOMAXPROCS(0)) }
+
 // measureRxPair runs one local and one remote single-core Rx stream and
 // returns their throughputs (the headline numbers of Figure 6).
 func measureRxPair(b *testing.B, msg int64) (local, remote float64) {
@@ -143,7 +182,11 @@ func measureRxPair(b *testing.B, msg int64) (local, remote float64) {
 
 // BenchmarkSimulatorEventRate measures the raw simulation speed of the
 // full datapath: simulated-seconds of single-core Rx per wall second.
+// Allocations are reported to guard the engine's free-list design; the
+// residual allocs/op are model-layer closures, not the dispatch loop
+// (see sim.TestScheduleDispatchAllocFree for the zero-alloc guarantee).
 func BenchmarkSimulatorEventRate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cl := ioctopus.NewCluster(ioctopus.Config{Mode: ioctopus.ModeIOctopus})
 		w := workloads.StartStream(cl, workloads.StreamConfig{

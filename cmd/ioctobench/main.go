@@ -2,11 +2,15 @@
 // table/series per figure, with shape checks against the published
 // results.
 //
+// Every measurement point is an isolated deterministic simulation, so
+// the harness fans points — and whole experiments — across a worker
+// pool; output is byte-identical at any -parallel level.
+//
 // Usage:
 //
 //	ioctobench -list
 //	ioctobench -fig fig6
-//	ioctobench -fig all -quick
+//	ioctobench -fig all -quick -parallel 8
 //	ioctobench -fig fig14 -o fig14.txt
 package main
 
@@ -15,18 +19,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ioctopus"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "experiment id (fig2, fig6..fig15, ablation-*), or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		quick  = flag.Bool("quick", false, "short measurement windows (smoke run)")
-		out    = flag.String("o", "", "write results to this file instead of stdout")
-		asJSON = flag.Bool("json", false, "emit machine-readable JSON (one array of results)")
+		fig      = flag.String("fig", "", "experiment id (fig2, fig6..fig15, ablation-*), or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "short measurement windows (smoke run)")
+		out      = flag.String("o", "", "write results to this file instead of stdout")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON (one array of results)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max simulations in flight (1 = fully serial); results are identical at any level")
 	)
 	flag.Parse()
 
@@ -37,9 +45,11 @@ func main() {
 		return
 	}
 	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: ioctobench -fig <id>|all [-quick] [-o file]; -list for ids")
+		fmt.Fprintln(os.Stderr, "usage: ioctobench -fig <id>|all [-quick] [-parallel N] [-o file]; -list for ids")
 		os.Exit(2)
 	}
+
+	ioctopus.SetParallelism(*parallel)
 
 	d := ioctopus.FullDurations()
 	if *quick {
@@ -51,17 +61,15 @@ func main() {
 		ids = ioctopus.ExperimentIDs()
 	}
 
+	results, err := runAll(ids, d, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	var b strings.Builder
-	var results []*ioctopus.ExperimentResult
 	failed := 0
-	for _, id := range ids {
-		fmt.Fprintf(os.Stderr, "running %s...\n", id)
-		res, err := ioctopus.RunExperiment(id, d)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		results = append(results, res)
+	for _, res := range results {
 		b.WriteString(res.Render())
 		b.WriteString("\n")
 		if !res.Passed() {
@@ -92,4 +100,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing shape checks\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runAll executes the experiments, concurrently up to `parallel` whole
+// experiments in flight (their points additionally fan out through the
+// library's shared pool), and returns results in input order.
+func runAll(ids []string, d ioctopus.Durations, parallel int) ([]*ioctopus.ExperimentResult, error) {
+	results := make([]*ioctopus.ExperimentResult, len(ids))
+	errs := make([]error, len(ids))
+	if parallel <= 1 || len(ids) == 1 {
+		for i, id := range ids {
+			fmt.Fprintf(os.Stderr, "running %s...\n", id)
+			results[i], errs[i] = ioctopus.RunExperiment(id, d)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return results, nil
+	}
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fmt.Fprintf(os.Stderr, "running %s...\n", id)
+			results[i], errs[i] = ioctopus.RunExperiment(id, d)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

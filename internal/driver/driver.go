@@ -9,6 +9,7 @@ package driver
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"ioctopus/internal/device"
@@ -115,16 +116,20 @@ func (b *base) buildQueues(mem *memsys.System, pfFor func(c topology.CoreID) *ni
 		if b.params.CompRingNode != topology.NoNode {
 			compHome = b.params.CompRingNode
 		}
-		rxComp := device.NewRing(mem, fmt.Sprintf("%s:rxc%d", b.name, c), compHome, nicParams.RxRingEntries, nicParams.DescBytes)
-		qp.rxDesc = device.NewRing(mem, fmt.Sprintf("%s:rxd%d", b.name, c), node, nicParams.RxRingEntries, nicParams.DescBytes)
-		var bufs []*memsys.Buffer
+		// Names are diagnostics-only; plain concatenation instead of
+		// Sprintf keeps cluster construction cheap (it runs once per
+		// measurement point, and rxbuf count × cores adds up).
+		cs := strconv.Itoa(c)
+		rxComp := device.NewRing(mem, b.name+":rxc"+cs, compHome, nicParams.RxRingEntries, nicParams.DescBytes)
+		qp.rxDesc = device.NewRing(mem, b.name+":rxd"+cs, node, nicParams.RxRingEntries, nicParams.DescBytes)
+		bufs := make([]*memsys.Buffer, 0, nicParams.RxBufCount)
 		for i := 0; i < nicParams.RxBufCount; i++ {
-			bufs = append(bufs, mem.NewBuffer(fmt.Sprintf("%s:rxbuf%d.%d", b.name, c, i), node, nicParams.RxBufBytes))
+			bufs = append(bufs, mem.NewBuffer(b.name+":rxbuf"+cs+"."+strconv.Itoa(i), node, nicParams.RxBufBytes))
 		}
 		qp.rx = pf.AddRxQueue(rxComp, bufs, node, func() { b.rxIRQ(qp) })
 
-		txDesc := device.NewRing(mem, fmt.Sprintf("%s:txd%d", b.name, c), node, nicParams.TxRingEntries, nicParams.DescBytes)
-		txComp := device.NewRing(mem, fmt.Sprintf("%s:txc%d", b.name, c), compHome, nicParams.TxRingEntries, nicParams.DescBytes)
+		txDesc := device.NewRing(mem, b.name+":txd"+cs, node, nicParams.TxRingEntries, nicParams.DescBytes)
+		txComp := device.NewRing(mem, b.name+":txc"+cs, compHome, nicParams.TxRingEntries, nicParams.DescBytes)
 		qp.tx = pf.AddTxQueue(txDesc, txComp, node, func() { b.txIRQ(qp) })
 
 		b.pairs = append(b.pairs, qp)

@@ -28,11 +28,20 @@ func runAblationWiring(d Durations) *Result {
 	t := metrics.NewTable("wiring ablation",
 		"wiring", "Rx Gb/s (1 core)", "Rx Gb/s (14 cores)", "RR mean us")
 	type out struct{ one, many, rr float64 }
+	wirings := []pcie.Wiring{pcie.WiringBifurcated, pcie.WiringExtender, pcie.WiringSwitch}
+	rows := grid(len(wirings), 3, func(o, i int) float64 {
+		switch i {
+		case 0:
+			return measureWired(wirings[o], 1, d)
+		case 1:
+			return measureWired(wirings[o], 14, d)
+		default:
+			return measureWiredRR(wirings[o], d)
+		}
+	})
 	results := map[string]out{}
-	for _, w := range []pcie.Wiring{pcie.WiringBifurcated, pcie.WiringExtender, pcie.WiringSwitch} {
-		run1 := measureWired(w, 1, d)
-		runN := measureWired(w, 14, d)
-		rr := measureWiredRR(w, d)
+	for i, w := range wirings {
+		run1, runN, rr := rows[i][0], rows[i][1], rows[i][2]
 		results[w.String()] = out{run1, runN, rr}
 		t.AddRow(w.String(), run1, runN, rr)
 	}
@@ -125,8 +134,13 @@ func runAblationSG(d Durations) *Result {
 		qpiGB = cl.Server.Fabric.TotalBytes() / 1e9
 		return
 	}
-	withSG, qpiWith := run(true)
-	withoutSG, qpiWithout := run(false)
+	type sgOut struct{ gbps, qpi float64 }
+	outs := points(2, func(i int) sgOut {
+		g, q := run(i == 0)
+		return sgOut{g, q}
+	})
+	withSG, qpiWith := outs[0].gbps, outs[0].qpi
+	withoutSG, qpiWithout := outs[1].gbps, outs[1].qpi
 	t.AddRow("IOctoSG", withSG, qpiWith)
 	t.AddRow("no SG", withoutSG, qpiWithout)
 	r.Tables = append(r.Tables, t)
@@ -166,8 +180,13 @@ func runAblationCoalescing(d Durations) *Result {
 		gbps = metrics.Gbps(float64(st.Bytes()), d.Measure)
 		return
 	}
-	offUs, offGbps := run(true) // coalescing disabled
-	onUs, onGbps := run(false)
+	type coOut struct{ us, gbps float64 }
+	outs := points(2, func(i int) coOut {
+		us, g := run(i == 0)
+		return coOut{us, g}
+	})
+	offUs, offGbps := outs[0].us, outs[0].gbps // coalescing disabled
+	onUs, onGbps := outs[1].us, outs[1].gbps
 	t.AddRow("disabled", offUs, offGbps)
 	t.AddRow("enabled (8us)", onUs, onGbps)
 	r.Tables = append(r.Tables, t)

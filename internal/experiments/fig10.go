@@ -48,10 +48,14 @@ func runFig10(d Durations) *Result {
 	r := &Result{ID: "fig10", Title: "memcached throughput + memBW vs SET ratio (Fig 10)"}
 	t := metrics.NewTable("Figure 10",
 		"SET%", "ioct KT/s", "remote KT/s", "ioct/remote", "ioct memGB/s", "remote memGB/s", "mem ratio")
-	ratios := make([]float64, 0, 5)
-	for _, setPct := range []int{0, 25, 50, 75, 100} {
-		ioct := measureMemcached(cfgIOct, float64(setPct)/100, d)
-		remote := measureMemcached(cfgRemote, float64(setPct)/100, d)
+	setPcts := []int{0, 25, 50, 75, 100}
+	cfgs := []config{cfgIOct, cfgRemote}
+	rows := grid(len(setPcts), len(cfgs), func(o, i int) mcOut {
+		return measureMemcached(cfgs[i], float64(setPcts[o])/100, d)
+	})
+	ratios := make([]float64, 0, len(setPcts))
+	for i, setPct := range setPcts {
+		ioct, remote := rows[i][0], rows[i][1]
 		t.AddRow(setPct, ioct.KTps, remote.KTps, ratio(ioct.KTps, remote.KTps),
 			ioct.MemGBs, remote.MemGBs, ratio(ioct.MemGBs, remote.MemGBs))
 		ratios = append(ratios, ratio(ioct.KTps, remote.KTps))

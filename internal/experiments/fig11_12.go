@@ -21,9 +21,12 @@ func runFig11(d Durations) *Result {
 		"pairs", "ioct Gb/s", "remote Gb/s", "ratio", "ioct memGb/s", "remote memGb/s", "ioct cpu", "remote cpu")
 	var maxRatio float64
 	var ratioAt4 float64
+	cfgs := []config{cfgIOct, cfgRemote}
+	rows := grid(6, len(cfgs), func(o, i int) streamOut {
+		return measureStream(cfgs[i], 65536, workloads.Rx, 1, o+1, d)
+	})
 	for pairs := 1; pairs <= 6; pairs++ {
-		ioct := measureStream(cfgIOct, 65536, workloads.Rx, 1, pairs, d)
-		remote := measureStream(cfgRemote, 65536, workloads.Rx, 1, pairs, d)
+		ioct, remote := rows[pairs-1][0], rows[pairs-1][1]
 		rr := ratio(ioct.Gbps, remote.Gbps)
 		t.AddRow(pairs, ioct.Gbps, remote.Gbps, rr, ioct.MemGbps, remote.MemGbps, ioct.CPU, remote.CPU)
 		if rr > maxRatio {
@@ -48,9 +51,12 @@ func runFig12(d Durations) *Result {
 	t := metrics.NewTable("Figure 12 (mean one-way-equivalent RTT us)",
 		"pairs", "ioct us", "remote us", "ioct/remote")
 	var ioct1, ioct6, remote1, remote6 float64
+	cfgs := []config{cfgIOct, cfgRemote}
+	rows := grid(6, len(cfgs), func(o, i int) *workloads.RR {
+		return measureRR(cfgs[i], 64, eth.ProtoUDP, true, o+1, d)
+	})
 	for pairs := 1; pairs <= 6; pairs++ {
-		ioct := measureRR(cfgIOct, 64, eth.ProtoUDP, true, pairs, d)
-		remote := measureRR(cfgRemote, 64, eth.ProtoUDP, true, pairs, d)
+		ioct, remote := rows[pairs-1][0], rows[pairs-1][1]
 		iU := ioct.Mean().Seconds() * 1e6
 		rU := remote.Mean().Seconds() * 1e6
 		t.AddRow(pairs, iU, rU, ratio(iU, rU))

@@ -92,10 +92,13 @@ func runFig13(d Durations) *Result {
 	t := metrics.NewTable("Figure 13",
 		"io workload", "config", "PR time (ms)", "io throughput")
 
-	npIoct := measureCoLocation(cfgIOct, ioNetperf, d)
-	npRemote := measureCoLocation(cfgRemote, ioNetperf, d)
-	mcIoct := measureCoLocation(cfgIOct, ioMemcached, d)
-	mcRemote := measureCoLocation(cfgRemote, ioMemcached, d)
+	kinds := []ioKind{ioNetperf, ioMemcached}
+	cfgs := []config{cfgIOct, cfgRemote}
+	rows := grid(len(kinds), len(cfgs), func(o, i int) coLocOut {
+		return measureCoLocation(cfgs[i], kinds[o], d)
+	})
+	npIoct, npRemote := rows[0][0], rows[0][1]
+	mcIoct, mcRemote := rows[1][0], rows[1][1]
 
 	t.AddRow("netperf", "ioct/local", npIoct.PRRuntime.Seconds()*1e3, fmt.Sprintf("%.1f Gb/s", npIoct.IOGbps))
 	t.AddRow("netperf", "remote", npRemote.PRRuntime.Seconds()*1e3, fmt.Sprintf("%.1f Gb/s", npRemote.IOGbps))

@@ -64,8 +64,18 @@ func timeline(mode core.NICMode, d Durations) (pf0, pf1 *metrics.Series, preRate
 func runFig14(d Durations) *Result {
 	r := &Result{ID: "fig14", Title: "per-PF throughput across a thread migration (Fig 14)"}
 
-	oPF0, oPF1, oPre, oPost := timeline(core.ModeIOctopus, d)
-	ePF0, ePF1, ePre, ePost := timeline(core.ModeStandard, d)
+	type tlOut struct {
+		pf0, pf1  *metrics.Series
+		pre, post float64
+	}
+	modes := []core.NICMode{core.ModeIOctopus, core.ModeStandard}
+	outs := points(len(modes), func(i int) tlOut {
+		var o tlOut
+		o.pf0, o.pf1, o.pre, o.post = timeline(modes[i], d)
+		return o
+	})
+	oPF0, oPF1, oPre, oPost := outs[0].pf0, outs[0].pf1, outs[0].pre, outs[0].post
+	ePF0, ePF1, ePre, ePost := outs[1].pf0, outs[1].pf1, outs[1].pre, outs[1].post
 	oPF0.Name, oPF1.Name = "octoNIC pf0 Gb/s", "octoNIC pf1 Gb/s"
 	ePF0.Name, ePF1.Name = "ethNIC pf0 Gb/s", "ethNIC pf1 Gb/s"
 	r.Series = append(r.Series, oPF0, oPF1, ePF0, ePF1)

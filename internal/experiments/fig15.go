@@ -60,13 +60,29 @@ func measureFig15(streams int, withFio bool, policy nvme.Policy, dualPort bool, 
 // by up to ~24% once the interconnect saturates.
 func runFig15(d Durations) *Result {
 	r := &Result{ID: "fig15", Title: "NVMe fio vs STREAM interconnect contention (Fig 15)"}
-	fioSolo, _ := measureFig15(0, true, nvme.SinglePath, false, d)
+	counts := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	type f15Out struct{ fio, stream float64 }
+	// Point 0 is the antagonist-free fio baseline; then per STREAM count
+	// a solo-STREAM run and a contended run.
+	outs := points(1+2*len(counts), func(i int) f15Out {
+		var o f15Out
+		switch {
+		case i == 0:
+			o.fio, _ = measureFig15(0, true, nvme.SinglePath, false, d)
+		case i <= len(counts): // solo STREAM
+			_, o.stream = measureFig15(counts[i-1], false, nvme.SinglePath, false, d)
+		default: // fio + STREAM contention
+			o.fio, o.stream = measureFig15(counts[i-1-len(counts)], true, nvme.SinglePath, false, d)
+		}
+		return o
+	})
+	fioSolo := outs[0].fio
 	t := metrics.NewTable("Figure 15 (normalized)",
 		"STREAMs", "fio GB/s", "fio norm", "STREAM GB/s", "STREAM norm")
 	var fioNormAt2, fioNormAt10 float64
-	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
-		_, streamSolo := measureFig15(n, false, nvme.SinglePath, false, d)
-		fio, stream := measureFig15(n, true, nvme.SinglePath, false, d)
+	for i, n := range counts {
+		streamSolo := outs[1+i].stream
+		fio, stream := outs[1+len(counts)+i].fio, outs[1+len(counts)+i].stream
 		fioNorm := ratio(fio, fioSolo)
 		t.AddRow(n, fio, fioNorm, stream, ratio(stream, streamSolo))
 		if n == 2 {
@@ -91,10 +107,19 @@ func runFig15OctoSSD(d Durations) *Result {
 	r := &Result{ID: "fig15-octossd", Title: "OctoSSD: dual-port local routing removes NVMe NUDMA (§5.4 extension)"}
 	t := metrics.NewTable("OctoSSD under 10 STREAM instances",
 		"policy", "fio GB/s", "normalized to solo")
-	soloSingle, _ := measureFig15(0, true, nvme.SinglePath, true, d)
-	soloOcto, _ := measureFig15(0, true, nvme.OctoSSD, true, d)
-	heavySingle, _ := measureFig15(10, true, nvme.SinglePath, true, d)
-	heavyOcto, _ := measureFig15(10, true, nvme.OctoSSD, true, d)
+	type job struct {
+		streams int
+		policy  nvme.Policy
+	}
+	jobs := []job{
+		{0, nvme.SinglePath}, {0, nvme.OctoSSD},
+		{10, nvme.SinglePath}, {10, nvme.OctoSSD},
+	}
+	outs := points(len(jobs), func(i int) float64 {
+		fio, _ := measureFig15(jobs[i].streams, true, jobs[i].policy, true, d)
+		return fio
+	})
+	soloSingle, soloOcto, heavySingle, heavyOcto := outs[0], outs[1], outs[2], outs[3]
 	t.AddRow("single-path", heavySingle, ratio(heavySingle, soloSingle))
 	t.AddRow("octossd", heavyOcto, ratio(heavyOcto, soloOcto))
 	r.Tables = append(r.Tables, t)

@@ -25,10 +25,12 @@ func runFig6(d Durations) *Result {
 		"msg", "local Gb/s", "ioct Gb/s", "remote Gb/s", "ioct/remote",
 		"local memGb/s", "remote memGb/s", "local cpu", "remote cpu")
 	var big struct{ local, ioct, remote, remoteMem streamOut }
-	for _, msg := range streamSizes {
-		local := measureStream(cfgLocal, msg, workloads.Rx, 1, 0, d)
-		ioct := measureStream(cfgIOct, msg, workloads.Rx, 1, 0, d)
-		remote := measureStream(cfgRemote, msg, workloads.Rx, 1, 0, d)
+	cfgs := []config{cfgLocal, cfgIOct, cfgRemote}
+	rows := grid(len(streamSizes), len(cfgs), func(o, i int) streamOut {
+		return measureStream(cfgs[i], streamSizes[o], workloads.Rx, 1, 0, d)
+	})
+	for i, msg := range streamSizes {
+		local, ioct, remote := rows[i][0], rows[i][1], rows[i][2]
 		t.AddRow(msg, local.Gbps, ioct.Gbps, remote.Gbps, ratio(ioct.Gbps, remote.Gbps),
 			local.MemGbps, remote.MemGbps, local.CPU, remote.CPU)
 		if msg == 65536 {
@@ -53,9 +55,12 @@ func runFig7(d Durations) *Result {
 		"msg", "ioct Gb/s", "remote Gb/s", "ioct/remote",
 		"ioct memGb/s", "remote memGb/s", "remote mem/net")
 	var big struct{ ioct, remote streamOut }
-	for _, msg := range streamSizes {
-		ioct := measureStream(cfgIOct, msg, workloads.Tx, 1, 0, d)
-		remote := measureStream(cfgRemote, msg, workloads.Tx, 1, 0, d)
+	cfgs := []config{cfgIOct, cfgRemote}
+	rows := grid(len(streamSizes), len(cfgs), func(o, i int) streamOut {
+		return measureStream(cfgs[i], streamSizes[o], workloads.Tx, 1, 0, d)
+	})
+	for i, msg := range streamSizes {
+		ioct, remote := rows[i][0], rows[i][1]
 		t.AddRow(msg, ioct.Gbps, remote.Gbps, ratio(ioct.Gbps, remote.Gbps),
 			ioct.MemGbps, remote.MemGbps, ratio(remote.MemGbps, remote.Gbps))
 		if msg == 65536 {
@@ -78,8 +83,11 @@ func runFig6Multi(d Durations) *Result {
 	r := &Result{ID: "fig6-multicore", Title: "multi-core TCP Rx: both configs reach line rate (§5.1.1)"}
 	t := metrics.NewTable("multi-core Rx (14 instances)",
 		"config", "Gb/s", "memGb/s", "cpu")
-	ioct := measureStream(cfgIOct, 65536, workloads.Rx, 14, 0, d)
-	remote := measureStream(cfgRemote, 65536, workloads.Rx, 14, 0, d)
+	cfgs := []config{cfgIOct, cfgRemote}
+	outs := points(len(cfgs), func(i int) streamOut {
+		return measureStream(cfgs[i], 65536, workloads.Rx, 14, 0, d)
+	})
+	ioct, remote := outs[0], outs[1]
 	t.AddRow("ioct/local", ioct.Gbps, ioct.MemGbps, ioct.CPU)
 	t.AddRow("remote", remote.Gbps, remote.MemGbps, remote.CPU)
 	r.Tables = append(r.Tables, t)

@@ -57,9 +57,12 @@ func runFig8(d Durations) *Result {
 		"pkt", "ioct MPPS", "remote MPPS", "ioct Gb/s", "remote Gb/s", "ratio",
 		"ioct memGb/s", "remote memGb/s")
 	var at64, atMTU struct{ ioct, remote pktgenOut }
-	for _, size := range pktgenSizes {
-		ioct := measurePktgen(cfgIOct, size, d)
-		remote := measurePktgen(cfgRemote, size, d)
+	cfgs := []config{cfgIOct, cfgRemote}
+	rows := grid(len(pktgenSizes), len(cfgs), func(o, i int) pktgenOut {
+		return measurePktgen(cfgs[i], pktgenSizes[o], d)
+	})
+	for i, size := range pktgenSizes {
+		ioct, remote := rows[i][0], rows[i][1]
 		t.AddRow(size, ioct.MPPS, remote.MPPS, ioct.Gbps, remote.Gbps,
 			ratio(ioct.MPPS, remote.MPPS), ioct.MemGbps, remote.MemGbps)
 		if size == 64 {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"ioctopus/internal/eth"
 	"ioctopus/internal/metrics"
+	"ioctopus/internal/workloads"
 )
 
 var rrSizes = []int64{1, 64, 256, 1024, 4096, 16384, 65536}
@@ -19,10 +20,19 @@ func runFig9(d Durations) *Result {
 		"msg", "ll us", "rr us", "llnd us", "rr/ll", "llnd/ll", "rr/ll p99")
 	var sumRR, sumND, sumP99 float64
 	var maxRR float64
-	for _, msg := range rrSizes {
-		ll := measureRR(cfgLocal, msg, eth.ProtoTCP, true, 0, d)
-		rr := measureRR(cfgRemote, msg, eth.ProtoTCP, true, 0, d)
-		nd := measureRR(cfgLocal, msg, eth.ProtoTCP, false, 0, d)
+	rows := grid(len(rrSizes), 3, func(o, i int) *workloads.RR {
+		msg := rrSizes[o]
+		switch i {
+		case 0:
+			return measureRR(cfgLocal, msg, eth.ProtoTCP, true, 0, d)
+		case 1:
+			return measureRR(cfgRemote, msg, eth.ProtoTCP, true, 0, d)
+		default:
+			return measureRR(cfgLocal, msg, eth.ProtoTCP, false, 0, d)
+		}
+	})
+	for i, msg := range rrSizes {
+		ll, rr, nd := rows[i][0], rows[i][1], rows[i][2]
 		llU := ll.Mean().Seconds() * 1e6
 		rrU := rr.Mean().Seconds() * 1e6
 		ndU := nd.Mean().Seconds() * 1e6

@@ -69,9 +69,10 @@ func measureStream(c config, msg int64, dir workloads.Direction, instances int, 
 	if c == cfgRemote {
 		node = 1
 	}
+	clientPool := cl.Client.Topo.CoresOn(0)
 	for i := 0; i < instances; i++ {
 		serverCores = append(serverCores, cl.Server.Topo.CoresOn(node)[i].ID)
-		clientCores = append(clientCores, cl.Client.Topo.CoresOn(0)[i%14].ID)
+		clientCores = append(clientCores, clientPool[i%len(clientPool)].ID)
 	}
 	w := workloads.StartStream(cl, workloads.StreamConfig{
 		MsgSize:     msg,

@@ -40,9 +40,21 @@ func runAblationRemoteDDIO(d Durations) *Result {
 		return float64(w.Packets()) / d.Measure.Seconds() / 1e6
 	}
 
-	baseline := run(false)  // rings CPU-local: completion writes go to DRAM
-	remoteDDIO := run(true) // rings NIC-local: completion writes DDIO, CPU reads cross
-	ioct := measurePktgen(cfgIOct, 64, d)
+	type ddioOut struct {
+		mpps float64
+		pkt  pktgenOut
+	}
+	outs := points(3, func(i int) ddioOut {
+		switch i {
+		case 0: // rings CPU-local: completion writes go to DRAM
+			return ddioOut{mpps: run(false)}
+		case 1: // rings NIC-local: completion writes DDIO, CPU reads cross
+			return ddioOut{mpps: run(true)}
+		default:
+			return ddioOut{pkt: measurePktgen(cfgIOct, 64, d)}
+		}
+	})
+	baseline, remoteDDIO, ioct := outs[0].mpps, outs[1].mpps, outs[2].pkt
 
 	t := metrics.NewTable("remote pktgen, 64B packets",
 		"configuration", "MPPS", "vs baseline")

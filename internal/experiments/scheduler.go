@@ -76,10 +76,12 @@ func runAblationScheduler(d Durations) *Result {
 		return metrics.Gbps(float64(received-base), window)
 	}
 
-	stdPinned := measure(core.ModeStandard, false)
-	stdBalanced := measure(core.ModeStandard, true)
-	octoPinned := measure(core.ModeIOctopus, false)
-	octoBalanced := measure(core.ModeIOctopus, true)
+	modes := []core.NICMode{core.ModeStandard, core.ModeIOctopus}
+	rows := grid(len(modes), 2, func(o, i int) float64 {
+		return measure(modes[o], i == 1)
+	})
+	stdPinned, stdBalanced := rows[0][0], rows[0][1]
+	octoPinned, octoBalanced := rows[1][0], rows[1][1]
 	t.AddRow("standard", stdPinned, stdBalanced, ratio(stdBalanced, stdPinned))
 	t.AddRow("ioctopus", octoPinned, octoBalanced, ratio(octoBalanced, octoPinned))
 	r.Tables = append(r.Tables, t)

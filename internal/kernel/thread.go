@@ -20,6 +20,16 @@ type Thread struct {
 
 	migrations int
 	cpuTime    time.Duration
+
+	// Exec/ExecFn scratch. A thread has at most one Exec in flight
+	// (Submit then Yield until completion), so the wrapper closures can
+	// be built once at Spawn and reused for every call instead of
+	// allocating per Exec on the hot path.
+	execRun   func() time.Duration // caller's fn for the in-flight ExecFn
+	execTook  time.Duration
+	execDur   time.Duration        // fixed duration for Exec
+	execWrap  func() time.Duration // cached: runs execRun, records execTook
+	execFixed func() time.Duration // cached: returns execDur
 }
 
 // Spawn creates a thread pinned initially to the given core and starts
@@ -27,6 +37,11 @@ type Thread struct {
 func (k *Kernel) Spawn(name string, core topology.CoreID, fn func(t *Thread)) *Thread {
 	k.nextTID++
 	t := &Thread{k: k, tid: k.nextTID, name: name, core: k.Core(core)}
+	t.execWrap = func() time.Duration {
+		t.execTook = t.execRun()
+		return t.execTook
+	}
+	t.execFixed = func() time.Duration { return t.execDur }
 	t.proc = k.eng.Go(fmt.Sprintf("thread:%s", name), func(p *sim.Proc) {
 		fn(t)
 	})
@@ -60,7 +75,8 @@ func (t *Thread) Now() sim.Time { return t.k.eng.Now() }
 // Exec consumes d of CPU time on the thread's current core, blocking
 // until the core has executed it.
 func (t *Thread) Exec(d time.Duration) {
-	t.ExecFn(func() time.Duration { return d })
+	t.execDur = d
+	t.ExecFn(t.execFixed)
 }
 
 // ExecFn consumes CPU time computed at execution start — use it when
@@ -68,13 +84,11 @@ func (t *Thread) Exec(d time.Duration) {
 // core actually runs the work.
 func (t *Thread) ExecFn(run func() time.Duration) {
 	c := t.core // bind at submit: migration moves subsequent work only
-	var took time.Duration
-	c.Submit(t.name, func() time.Duration {
-		took = run()
-		return took
-	}, t.proc.Resume)
+	t.execRun = run
+	c.Submit(t.name, t.execWrap, t.proc.ResumeFunc())
 	t.proc.Yield()
-	t.cpuTime += took
+	t.execRun = nil
+	t.cpuTime += t.execTook
 }
 
 // Sleep blocks the thread without consuming CPU.

@@ -76,11 +76,13 @@ func (s *Socket) ReceivedBytes() int64 { return s.receivedBytes }
 // Pending returns undelivered received segments.
 func (s *Socket) Pending() int { return s.rxq.len() }
 
-func (s *Socket) bufOn(m map[topology.NodeID]*memsys.Buffer, name string, node topology.NodeID) *memsys.Buffer {
+// bufOn returns the per-node buffer, formatting the (tuple-derived)
+// name only on the miss path: lookups are on the per-message hot path.
+func (s *Socket) bufOn(m map[topology.NodeID]*memsys.Buffer, kind string, node topology.NodeID) *memsys.Buffer {
 	if b, ok := m[node]; ok {
 		return b
 	}
-	b := s.stack.k.Alloc(name, node, s.stack.params.UserBufBytes)
+	b := s.stack.k.Alloc(kind+s.ft.String(), node, s.stack.params.UserBufBytes)
 	m[node] = b
 	return b
 }
@@ -89,14 +91,14 @@ func (s *Socket) userBuf(node topology.NodeID) *memsys.Buffer {
 	if s.userBufs == nil {
 		s.userBufs = make(map[topology.NodeID]*memsys.Buffer)
 	}
-	return s.bufOn(s.userBufs, "userbuf:"+s.ft.String(), node)
+	return s.bufOn(s.userBufs, "userbuf:", node)
 }
 
 func (s *Socket) txBuf(node topology.NodeID) *memsys.Buffer {
 	if s.txBufs == nil {
 		s.txBufs = make(map[topology.NodeID]*memsys.Buffer)
 	}
-	return s.bufOn(s.txBufs, "txbuf:"+s.ft.String(), node)
+	return s.bufOn(s.txBufs, "txbuf:", node)
 }
 
 // Send transmits n payload bytes, blocking on the send window. It

@@ -37,7 +37,7 @@ type RxQueue struct {
 
 	pending    []*RxPacket
 	napiActive bool
-	coalesce   *sim.Timer
+	coalesce   sim.Timer
 
 	drops      uint64
 	delivered  uint64
@@ -131,7 +131,7 @@ func (q *RxQueue) maybeInterrupt() {
 		q.fireInterrupt()
 		return
 	}
-	if q.coalesce != nil && q.coalesce.Pending() {
+	if q.coalesce.Pending() {
 		return
 	}
 	q.coalesce = q.pf.nic.eng.After(delay, q.fireInterrupt)
@@ -201,7 +201,7 @@ type TxQueue struct {
 
 	completed  []*TxPacket
 	napiActive bool
-	coalesce   *sim.Timer
+	coalesce   sim.Timer
 
 	posted     uint64
 	sent       uint64
@@ -315,7 +315,7 @@ func (q *TxQueue) maybeInterrupt() {
 		q.fireInterrupt()
 		return
 	}
-	if q.coalesce != nil && q.coalesce.Pending() {
+	if q.coalesce.Pending() {
 		return
 	}
 	q.coalesce = q.pf.nic.eng.After(delay, q.fireInterrupt)

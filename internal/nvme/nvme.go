@@ -148,7 +148,7 @@ type QueuePair struct {
 
 	completed  []*Request
 	napiActive bool
-	coalesce   *sim.Timer
+	coalesce   sim.Timer
 
 	inFlight int
 }
@@ -235,7 +235,7 @@ func (qp *QueuePair) maybeInterrupt() {
 		qp.fireInterrupt()
 		return
 	}
-	if qp.coalesce != nil && qp.coalesce.Pending() {
+	if qp.coalesce.Pending() {
 		return
 	}
 	qp.coalesce = qp.port.ctrl.eng.After(delay, qp.fireInterrupt)

@@ -9,10 +9,16 @@
 // (Engine.At/After) and blocking processes (Engine.Go) that execute on
 // goroutines but are resumed one at a time by the engine, SimPy style, so
 // determinism is preserved.
+//
+// The event queue is an inlined value-based 4-ary min-heap ordered by
+// (at, seq): events at the same instant dispatch in FIFO scheduling
+// order. Event records live in a slot arena recycled through a free
+// list, so steady-state scheduling and dispatch allocate nothing;
+// cancellation is lazy (a generation check at pop time) to keep Stop
+// O(1) without disturbing the heap.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -52,51 +58,46 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // String formats the timestamp as a duration since simulation start.
 func (t Time) String() string { return time.Duration(t).String() }
 
-type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among events scheduled for the same instant
-	fn  func()
-	idx int
+// heapEntry is one queued event in the 4-ary min-heap. The callback
+// lives in the slot arena; the entry holds only ordering keys plus the
+// (slot, gen) reference that validates it at pop time.
+type heapEntry struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among events scheduled for the same instant
+	slot int32
+	gen  uint32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (at, seq). seq strictly increases per schedule,
+// so equal-time events preserve FIFO order.
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx, h[j].idx = i, j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	ev.idx = -1
-	return ev
+
+// eventSlot is one arena record. gen increments every time the slot is
+// freed, invalidating any heap entries and Timers still pointing at it.
+type eventSlot struct {
+	fn   func()
+	gen  uint32
+	next int32 // free-list link, -1 terminates
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	running bool
-	stopped bool
-	procs   map[*Proc]struct{}
-	tracer  *Tracer
+	now      Time
+	seq      uint64
+	events   []heapEntry // 4-ary min-heap on (at, seq)
+	slots    []eventSlot
+	freeHead int32 // head of the slot free list, -1 when empty
+	live     int   // scheduled and not cancelled
+	running  bool
+	stopped  bool
+	procs    map[*Proc]struct{}
+	tracer   *Tracer
 
 	// Executed counts dispatched events, for diagnostics and loop guards.
 	Executed uint64
@@ -107,7 +108,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	return &Engine{procs: make(map[*Proc]struct{}), freeHead: -1}
 }
 
 // Now returns the current simulation time.
@@ -115,65 +116,164 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in the model and panics.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{eng: e, ev: ev}
+	slot := e.freeHead
+	if slot >= 0 {
+		e.freeHead = e.slots[slot].next
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		slot = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[slot]
+	s.fn = fn
+	e.push(heapEntry{at: t, seq: e.seq, slot: slot, gen: s.gen})
+	e.live++
+	return Timer{eng: e, at: t, slot: slot, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is
 // treated as zero.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Timer is a handle to a scheduled event, allowing cancellation.
+// freeSlot recycles a slot onto the free list. Bumping gen invalidates
+// the heap entry (if still queued) and every Timer handle for it.
+func (e *Engine) freeSlot(slot int32) {
+	s := &e.slots[slot]
+	s.fn = nil
+	s.gen++
+	s.next = e.freeHead
+	e.freeHead = slot
+	e.live--
+}
+
+// push inserts an entry, sifting up through 4-ary parents.
+func (e *Engine) push(ent heapEntry) {
+	h := append(e.events, ent)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ent.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+	e.events = h
+}
+
+// popMin removes and returns the minimum entry, sifting the last entry
+// down through the up-to-four children of each node.
+func (e *Engine) popMin() heapEntry {
+	h := e.events
+	min := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	e.events = h
+	n := len(h)
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			if c+1 < n && h[c+1].less(h[m]) {
+				m = c + 1
+			}
+			if c+2 < n && h[c+2].less(h[m]) {
+				m = c + 2
+			}
+			if c+3 < n && h[c+3].less(h[m]) {
+				m = c + 3
+			}
+			if !h[m].less(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return min
+}
+
+// purge discards cancelled entries from the top of the heap so callers
+// can trust events[0] to be a live event.
+func (e *Engine) purge() {
+	for len(e.events) > 0 {
+		ent := e.events[0]
+		if e.slots[ent.slot].gen == ent.gen {
+			return
+		}
+		e.popMin()
+	}
+}
+
+// Timer is a handle to a scheduled event, allowing cancellation. The
+// zero Timer is valid: never pending, Stop reports false.
 type Timer struct {
-	eng *Engine
-	ev  *event
+	eng  *Engine
+	at   Time
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the pending event. It reports whether the event was still
-// pending (and is now cancelled).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.idx < 0 {
+// pending (and is now cancelled). The heap entry is dropped lazily when
+// it reaches the top of the queue.
+func (t Timer) Stop() bool {
+	if t.eng == nil || t.eng.slots[t.slot].gen != t.gen {
 		return false
 	}
-	heap.Remove(&t.eng.events, t.ev.idx)
-	t.ev.idx = -1
+	t.eng.freeSlot(t.slot)
 	return true
 }
 
-// When returns the time the event is scheduled for.
-func (t *Timer) When() Time { return t.ev.at }
+// When returns the time the event was scheduled for.
+func (t Timer) When() Time { return t.at }
 
 // Pending reports whether the event has not yet fired or been cancelled.
-func (t *Timer) Pending() bool { return t.ev.idx >= 0 }
+func (t Timer) Pending() bool {
+	return t.eng != nil && t.eng.slots[t.slot].gen == t.gen
+}
 
 // step dispatches the earliest pending event. It reports false when the
 // event queue is empty.
 func (e *Engine) step() bool {
-	if len(e.events) == 0 {
-		return false
+	for {
+		if len(e.events) == 0 {
+			return false
+		}
+		ent := e.popMin()
+		s := &e.slots[ent.slot]
+		if s.gen != ent.gen { // cancelled: drop and keep looking
+			continue
+		}
+		if ent.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ent.at
+		e.Executed++
+		if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+		}
+		fn := s.fn
+		// Free before dispatch so fn can schedule into the recycled slot.
+		e.freeSlot(ent.slot)
+		fn()
+		return true
 	}
-	ev := heap.Pop(&e.events).(*event)
-	if ev.at < e.now {
-		panic("sim: time went backwards")
-	}
-	e.now = ev.at
-	e.Executed++
-	if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
-		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
-	}
-	ev.fn()
-	return true
 }
 
 // Run dispatches events until the clock would pass `until` or no events
@@ -187,6 +287,7 @@ func (e *Engine) Run(until Time) {
 	e.stopped = false
 	defer func() { e.running = false }()
 	for !e.stopped {
+		e.purge()
 		if len(e.events) == 0 || e.events[0].at > until {
 			break
 		}
@@ -217,7 +318,7 @@ func (e *Engine) RunUntilIdle() {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.live }
 
 // Drain terminates all parked processes. Call when a run is finished so
 // process goroutines do not leak; after Drain the engine must not be used.

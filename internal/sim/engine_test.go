@@ -109,7 +109,7 @@ func TestTimerStop(t *testing.T) {
 func TestTimerStopAmongOthers(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	timers := make([]*Timer, 5)
+	timers := make([]Timer, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		timers[i] = e.After(time.Duration(i+1)*Nanosecond, func() { fired = append(fired, i) })
@@ -156,6 +156,134 @@ func TestEngineMaxEventsGuard(t *testing.T) {
 		}
 	}()
 	e.RunUntilIdle()
+}
+
+// TestScheduleDispatchAllocFree guards the free-list design: once the
+// slot arena and heap have grown to steady-state size, scheduling and
+// dispatching events allocates nothing.
+func TestScheduleDispatchAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the arena and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(time.Duration(i)*Nanosecond, fn)
+	}
+	e.RunUntilIdle()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			e.After(time.Duration(i)*Nanosecond, fn)
+		}
+		e.RunUntilIdle()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("schedule+dispatch allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// TestTimerStaleAfterFire: a Timer held past its event's dispatch must
+// report not-pending and refuse to Stop, even after its slot has been
+// recycled for a newer event.
+func TestTimerStaleAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.After(Nanosecond, func() { fired++ })
+	e.RunUntilIdle()
+	// Recycle the slot for a fresh event.
+	tm2 := e.After(Nanosecond, func() { fired++ })
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on a fired timer must report false")
+	}
+	if !tm2.Pending() {
+		t.Fatal("recycled slot's new timer should be pending")
+	}
+	e.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+// TestRunBoundWithCancelledHead: a cancelled entry at the head of the
+// heap must not let Run dispatch a live event past its bound.
+func TestRunBoundWithCancelledHead(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(10*Nanosecond, func() { t.Error("cancelled event fired") })
+	e.After(100*Nanosecond, func() { fired = true })
+	tm.Stop()
+	e.Run(Time(50))
+	if fired {
+		t.Fatal("Run dispatched an event beyond its bound")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntilIdle()
+	if !fired {
+		t.Fatal("live event never fired")
+	}
+}
+
+// TestPendingCountExcludesCancelled: Engine.Pending counts live events
+// only, despite lazy heap deletion.
+func TestPendingCountExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	var tms []Timer
+	for i := 0; i < 10; i++ {
+		tms = append(tms, e.After(time.Duration(i+1)*Nanosecond, func() {}))
+	}
+	for i := 0; i < 4; i++ {
+		tms[i].Stop()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d, want 6", e.Pending())
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+// TestHeapOrderRandomized cross-checks the 4-ary heap against sorted
+// order on a large randomized schedule, including cancellations.
+func TestHeapOrderRandomized(t *testing.T) {
+	e := NewEngine()
+	g := NewRNG(7)
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var want []ev
+	var got []ev
+	seq := 0
+	for i := 0; i < 2000; i++ {
+		at := Time(g.Intn(500))
+		s := seq
+		seq++
+		tm := e.At(at, func() { got = append(got, ev{at, s}) })
+		if g.Intn(5) == 0 {
+			tm.Stop()
+			continue
+		}
+		want = append(want, ev{at, s})
+	}
+	// Stable sort by (at, schedule order) = the FIFO tie-break contract.
+	for i := 1; i < len(want); i++ {
+		for j := i; j > 0 && (want[j].at < want[j-1].at); j-- {
+			want[j], want[j-1] = want[j-1], want[j]
+		}
+	}
+	e.RunUntilIdle()
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
 }
 
 func TestTimeArithmetic(t *testing.T) {

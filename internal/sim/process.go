@@ -17,6 +17,9 @@ type Proc struct {
 	killed   chan struct{}
 	killSent bool // engine-side: killed channel closed
 	dead     bool // process-side: unwound or finished
+	// resumeFn caches the resume method value so the (very frequent)
+	// Sleep/Wait/Broadcast paths don't allocate a closure per call.
+	resumeFn func()
 }
 
 // killedError is the panic value used to unwind a killed process.
@@ -34,6 +37,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		park:   make(chan struct{}),
 		killed: make(chan struct{}),
 	}
+	p.resumeFn = p.resume
 	e.procs[p] = struct{}{}
 	go func() {
 		defer func() {
@@ -49,7 +53,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.finish()
 	}()
-	e.After(0, p.resume)
+	e.After(0, p.resumeFn)
 	return p
 }
 
@@ -108,6 +112,12 @@ func (p *Proc) kill() {
 // completion callback to a component that fires it from one).
 func (p *Proc) Resume() { p.resume() }
 
+// ResumeFunc returns the cached resume callback (the same function every
+// call). Components that repeatedly pass "resume this process" as a
+// completion callback should use it instead of the method value
+// p.Resume, which allocates a fresh closure at every use site.
+func (p *Proc) ResumeFunc() func() { return p.resumeFn }
+
 // Yield parks the process until something calls Resume. The caller must
 // have arranged for a Resume before yielding (registered a callback,
 // scheduled an event) or the process sleeps forever.
@@ -118,7 +128,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.After(d, p.resume)
+	p.eng.After(d, p.resumeFn)
 	p.yield()
 }
 
@@ -128,7 +138,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < p.eng.Now() {
 		t = p.eng.Now()
 	}
-	p.eng.At(t, p.resume)
+	p.eng.At(t, p.resumeFn)
 	p.yield()
 }
 
@@ -151,11 +161,15 @@ func (s *Signal) Wait(p *Proc) {
 
 // Broadcast wakes all current waiters, in FIFO order, at the current time.
 func (s *Signal) Broadcast() {
-	ws := s.waiters
-	s.waiters = nil
-	for _, p := range ws {
-		s.eng.After(0, p.resume)
+	// After only schedules the resume events; no process code runs here,
+	// so nothing can re-enter Wait while we iterate. That makes it safe
+	// to keep the backing array for reuse (cleared so it doesn't pin
+	// the woken processes) instead of allocating a fresh one per cycle.
+	for _, p := range s.waiters {
+		s.eng.After(0, p.resumeFn)
 	}
+	clear(s.waiters)
+	s.waiters = s.waiters[:0]
 }
 
 // Waiters returns the number of processes currently waiting.

@@ -2,9 +2,14 @@ package sim
 
 // Queue is a FIFO queue of items connecting simulated processes, the
 // analogue of a buffered channel. Capacity 0 means unbounded.
+//
+// Storage is items[head:]: pops advance head and the backing array is
+// reused once the queue drains (or compacted when the dead prefix
+// dominates), so steady-state put/get traffic does not reallocate.
 type Queue[T any] struct {
 	eng      *Engine
 	items    []T
+	head     int
 	capacity int
 	notEmpty *Signal
 	notFull  *Signal
@@ -23,13 +28,13 @@ func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Cap returns the queue capacity (0 = unbounded).
 func (q *Queue[T]) Cap() int { return q.capacity }
 
 // Full reports whether a bounded queue is at capacity.
-func (q *Queue[T]) Full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+func (q *Queue[T]) Full() bool { return q.capacity > 0 && q.Len() >= q.capacity }
 
 // Put appends an item, blocking the process while the queue is full.
 func (q *Queue[T]) Put(p *Proc, item T) {
@@ -58,41 +63,59 @@ func (q *Queue[T]) push(item T) {
 	q.notEmpty.Broadcast()
 }
 
+// pop removes the head item. The slot is zeroed so popped items do not
+// pin garbage; the backing array is recycled when the queue drains and
+// compacted when more than half of it is dead prefix.
+func (q *Queue[T]) pop() T {
+	item := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return item
+}
+
 // Get removes and returns the oldest item, blocking the process while the
 // queue is empty. ok is false if the queue was closed and drained.
 func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		if q.closed {
 			var zero T
 			return zero, false
 		}
 		q.notEmpty.Wait(p)
 	}
-	item = q.items[0]
-	q.items = q.items[1:]
+	item = q.pop()
 	q.notFull.Broadcast()
 	return item, true
 }
 
 // TryGet removes the oldest item without blocking; ok reports success.
 func (q *Queue[T]) TryGet() (item T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	item = q.items[0]
-	q.items = q.items[1:]
+	item = q.pop()
 	q.notFull.Broadcast()
 	return item, true
 }
 
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (item T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 // Close marks the queue closed; blocked Gets return ok=false once empty.

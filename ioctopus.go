@@ -176,3 +176,11 @@ func RunExperiment(id string, d Durations) (*ExperimentResult, error) {
 
 // ExperimentIDs lists all reproducible artifacts.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// SetParallelism bounds how many simulation points (independent
+// clusters) the experiment harness runs concurrently. Results are
+// deterministic at any level; the default is runtime.GOMAXPROCS(0).
+func SetParallelism(n int) { experiments.SetParallelism(n) }
+
+// Parallelism returns the current harness parallelism bound.
+func Parallelism() int { return experiments.Parallelism() }
