@@ -12,14 +12,17 @@
 //	ioctobench -fig fig6
 //	ioctobench -fig all -quick -parallel 8
 //	ioctobench -fig fig14 -o fig14.txt
+//	ioctobench -fig all -quick -json report.json
+//	ioctobench -fig fig6 -profile ./prof
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -32,7 +35,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quick    = flag.Bool("quick", false, "short measurement windows (smoke run)")
 		out      = flag.String("o", "", "write results to this file instead of stdout")
-		asJSON   = flag.Bool("json", false, "emit machine-readable JSON (one array of results)")
+		jsonPath = flag.String("json", "", "also write a versioned JSON report (results + run metadata + registry snapshots) to this path")
+		profDir  = flag.String("profile", "", "write cpu.pprof and heap.pprof for the run into this directory")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max simulations in flight (1 = fully serial); results are identical at any level")
 	)
@@ -61,6 +65,16 @@ func main() {
 		ids = ioctopus.ExperimentIDs()
 	}
 
+	stopProfiling := func() {}
+	if *profDir != "" {
+		stop, err := startProfiling(*profDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stopProfiling = stop
+	}
+
 	results, err := runAll(ids, d, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,16 +90,15 @@ func main() {
 			failed++
 		}
 	}
-	if *asJSON {
-		b.Reset()
-		enc, err := json.MarshalIndent(results, "", "  ")
-		if err != nil {
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, ids, *quick, d, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		b.Write(enc)
-		b.WriteByte('\n')
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
+	stopProfiling()
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
@@ -137,4 +150,50 @@ func runAll(ids []string, d ioctopus.Durations, parallel int) ([]*ioctopus.Exper
 		}
 	}
 	return results, nil
+}
+
+// writeReport emits the versioned JSON report: the figure results plus
+// run metadata and the per-mode registry snapshots of the canonical
+// smoke run. The report is validated before it lands on disk, so a
+// schema regression fails the run instead of poisoning a pipeline.
+func writeReport(path string, ids []string, quick bool, d ioctopus.Durations, results []*ioctopus.ExperimentResult) error {
+	rep := ioctopus.NewReport(ids, quick, d, results)
+	rep.Registry = ioctopus.RegistrySnapshots(d)
+	enc, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if err := ioctopus.ValidateReport(enc); err != nil {
+		return fmt.Errorf("generated report failed validation: %w", err)
+	}
+	return os.WriteFile(path, enc, 0o644)
+}
+
+// startProfiling begins a CPU profile in dir and returns a stop
+// function that finishes it and adds a heap profile.
+func startProfiling(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		if heap, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(heap); err != nil {
+				fmt.Fprintf(os.Stderr, "heap profile: %v\n", err)
+			}
+			heap.Close()
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s and %s\n",
+			filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "heap.pprof"))
+	}, nil
 }

@@ -5,6 +5,7 @@
 //
 //	octotrace -mode octo   > octo.csv
 //	octotrace -mode standard > eth.csv
+//	octotrace -mode octo -seconds 0.5 -trace octo.trace.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"ioctopus/internal/kernel"
 	"ioctopus/internal/metrics"
 	"ioctopus/internal/netstack"
+	"ioctopus/internal/sim"
 )
 
 func main() {
@@ -25,6 +27,8 @@ func main() {
 	seconds := flag.Float64("seconds", 9, "timeline length (simulated seconds)")
 	sample := flag.Duration("sample", 50*time.Millisecond, "sampling period")
 	migrateFrac := flag.Float64("migrate-at", 0.45, "migration point as a fraction of the run")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of pipe activity to this path (open in chrome://tracing or ui.perfetto.dev)")
+	traceLimit := flag.Int("trace-limit", 1<<20, "newest trace records retained (ring buffer); 0 = unbounded")
 	flag.Parse()
 
 	m := ioctopus.ModeIOctopus
@@ -39,6 +43,12 @@ func main() {
 
 	cl := ioctopus.NewCluster(ioctopus.Config{Mode: m})
 	defer cl.Drain()
+
+	var tracer *sim.Tracer
+	if *tracePath != "" {
+		tracer = sim.NewTracer(*traceLimit)
+		cl.Eng.SetTracer(tracer)
+	}
 
 	var serverThread *kernel.Thread
 	cl.Server.Stack.Listen(7, func(s *netstack.Socket) {
@@ -76,5 +86,20 @@ func main() {
 	fmt.Println("time_s,pf0_gbps,pf1_gbps")
 	for i := range pf0.Values {
 		fmt.Printf("%.3f,%.3f,%.3f\n", pf0.Times[i].Seconds(), pf0.Values[i], pf1.Values[i])
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records retained)\n", *tracePath, len(tracer.Records()))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"ioctopus/internal/interconnect"
 	"ioctopus/internal/kernel"
 	"ioctopus/internal/memsys"
+	"ioctopus/internal/metrics"
 	"ioctopus/internal/netstack"
 	"ioctopus/internal/nic"
 	"ioctopus/internal/pcie"
@@ -113,6 +114,14 @@ type Cluster struct {
 	ClientDev netstack.NetDevice
 
 	Wire *eth.Wire
+
+	// Reg is the cluster-wide metrics registry: every subsystem of both
+	// hosts registers its probes here during assembly, namespaced as
+	// "<host>/<subsystem>/..." ("server/nic/pf0/rx_bytes",
+	// "client/mem/node0/dram_read_bytes", ...) plus "engine/..." for
+	// the simulation engine itself. Snapshot it at any simulation
+	// instant for a full-system telemetry dump.
+	Reg *metrics.Registry
 }
 
 // buildHost assembles kernel+memory+pcie+stack for one machine.
@@ -223,7 +232,34 @@ func NewCluster(cfg Config) *Cluster {
 	default:
 		panic(fmt.Sprintf("core: unknown mode %v", cfg.Mode))
 	}
+
+	// Observability: registration happens last, after the drivers have
+	// attached their queues, so every probe sees the assembled system.
+	// Probes are closures over live state — nothing here runs on the
+	// simulation hot path, and an unsnapshotted registry costs nothing.
+	cl.Reg = metrics.NewRegistry()
+	metrics.RegisterEngine(cl.Reg.Scope("engine"), e)
+	cl.Server.registerMetrics(cl.Reg.Scope("server"))
+	cl.Client.registerMetrics(cl.Reg.Scope("client"))
 	return cl
+}
+
+// registerMetrics wires one host's subsystems into the cluster registry.
+func (h *Host) registerMetrics(r metrics.Registrar) {
+	h.Mem.RegisterMetrics(r.Scope("mem"))
+	h.Fabric.RegisterMetrics(r.Scope("fabric"))
+	h.Kernel.RegisterMetrics(r.Scope("kernel"))
+	if h.NIC != nil {
+		h.NIC.RegisterMetrics(r.Scope("nic"))
+	}
+	for _, dev := range h.Stack.Devices() {
+		type registrable interface {
+			RegisterMetrics(metrics.Registrar)
+		}
+		if d, ok := dev.(registrable); ok {
+			d.RegisterMetrics(r.Scope("driver/" + dev.Name()))
+		}
+	}
 }
 
 // Run advances the whole cluster by d.

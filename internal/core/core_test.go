@@ -389,3 +389,43 @@ func TestRandomizedMixedTrafficConservation(t *testing.T) {
 		t.Fatal("drops under mixed randomized TCP traffic")
 	}
 }
+
+// TestClusterRegistryWired: every subsystem of both hosts shows up in
+// the cluster registry, and the probes observe real traffic.
+func TestClusterRegistryWired(t *testing.T) {
+	got, cl := runStream(t, Config{Mode: ModeIOctopus}, 0, IPServerPF0, 64*1024, 5*time.Millisecond)
+	if got == 0 {
+		t.Fatal("no data delivered")
+	}
+	if cl.Reg == nil {
+		t.Fatal("cluster registry not built")
+	}
+	for _, name := range []string{
+		"engine/events_executed",
+		"server/nic/rx_frames",
+		"server/nic/pf0/rx_bytes",
+		"server/nic/pf0/rx/delivered",
+		"server/mem/node0/dram_read_bytes",
+		"server/mem/node0/memctl/discrete_bytes",
+		"server/fabric/link0to1/discrete_bytes",
+		"server/kernel/core0/busy_seconds",
+		"server/driver/octo0/rx_pending",
+		"server/driver/octo0/steer/updates_applied",
+		"client/nic/pf0/tx_bytes",
+		"client/driver/eth0/tx_in_flight",
+	} {
+		if _, ok := cl.Reg.Value(name); !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+	}
+	if v, _ := cl.Reg.Value("server/nic/pf0/rx_bytes"); v <= 0 {
+		t.Fatalf("server rx_bytes = %v, want > 0 after a stream", v)
+	}
+	if v, _ := cl.Reg.Value("engine/events_executed"); v <= 0 {
+		t.Fatalf("events_executed = %v", v)
+	}
+	snap := cl.Reg.Snapshot()
+	if len(snap) != cl.Reg.Len() {
+		t.Fatalf("snapshot %d entries, registry %d", len(snap), cl.Reg.Len())
+	}
+}

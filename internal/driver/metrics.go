@@ -1,0 +1,37 @@
+package driver
+
+import (
+	"ioctopus/internal/metrics"
+)
+
+// RegisterMetrics wires the driver-side view of the datapath into a
+// registry: aggregate ring occupancy across the driver's queue pairs.
+// (Per-queue hardware counters live under the NIC's own scope.)
+func (b *base) RegisterMetrics(r metrics.Registrar) {
+	r.Gauge("rx_pending", func() float64 {
+		var s int
+		for _, qp := range b.pairs {
+			s += qp.rx.Pending()
+		}
+		return float64(s)
+	})
+	r.Gauge("tx_in_flight", func() float64 {
+		var s int
+		for _, qp := range b.pairs {
+			s += qp.tx.InFlight()
+		}
+		return float64(s)
+	})
+}
+
+// RegisterMetrics adds the octoNIC steering machinery on top of the
+// shared ring gauges: IOctoRFS update-worker counters and rule-table
+// occupancy under "steer".
+func (d *Octo) RegisterMetrics(r metrics.Registrar) {
+	d.base.RegisterMetrics(r)
+	sc := r.Scope("steer")
+	sc.Counter("updates_pushed", func() float64 { return float64(d.updatesPushed) })
+	sc.Counter("updates_applied", func() float64 { return float64(d.updatesApplied) })
+	sc.Counter("rules_expired", func() float64 { return float64(d.rulesExpired) })
+	sc.Gauge("rule_count", func() float64 { return float64(len(d.rules)) })
+}

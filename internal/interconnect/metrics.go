@@ -1,0 +1,15 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"ioctopus/internal/metrics"
+)
+
+// RegisterMetrics wires every directional link's pipe into a registry
+// under "link<i>to<j>" — the traffic Figures 11, 12 and 15 measure.
+func (f *Fabric) RegisterMetrics(r metrics.Registrar) {
+	for key, p := range f.pipes {
+		metrics.RegisterPipe(r.Scope(fmt.Sprintf("link%dto%d", key[0], key[1])), p)
+	}
+}

@@ -1,0 +1,23 @@
+package memsys
+
+import (
+	"fmt"
+
+	"ioctopus/internal/metrics"
+)
+
+// RegisterMetrics wires per-node memory-system telemetry into a
+// registry: the NodeStats counters that Figures 6 and 9 aggregate, and
+// each node's memory-controller pipe (bandwidth, utilization, latency)
+// under "node<i>/memctl".
+func (s *System) RegisterMetrics(r metrics.Registrar) {
+	for _, n := range s.nodes {
+		n := n
+		sc := r.Scope(fmt.Sprintf("node%d", n.id))
+		sc.Counter("dram_read_bytes", func() float64 { return n.stats.DRAMReadBytes })
+		sc.Counter("dram_write_bytes", func() float64 { return n.stats.DRAMWriteBytes })
+		sc.Counter("llc_hit_bytes", func() float64 { return n.stats.LLCHitBytes })
+		sc.Counter("llc_miss_bytes", func() float64 { return n.stats.LLCMissBytes })
+		metrics.RegisterPipe(sc.Scope("memctl"), n.memctl)
+	}
+}

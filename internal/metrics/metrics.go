@@ -38,8 +38,9 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(len(h.samples))
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100), interpolating
-// by nearest rank.
+// Percentile returns the p-th percentile by nearest rank. p is clamped
+// to [0, 100]: p <= 0 returns the smallest sample (what Min relies on),
+// p >= 100 the largest, and an empty histogram reports 0 for any p.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
@@ -103,6 +104,7 @@ type Sampler struct {
 	prev     []float64
 	rate     []bool
 	stopped  bool
+	timer    sim.Timer
 }
 
 // NewSampler creates a sampler with the given period; call Start to
@@ -131,14 +133,38 @@ func (s *Sampler) TrackRate(name string, probe func() float64) *Series {
 }
 
 // Start begins sampling; the sampler reschedules itself until Stop.
+// Start is idempotent — calling it while a tick is already pending
+// changes nothing, so a double Start cannot double-schedule ticks or
+// double-count rate deltas — and it undoes Stop, so a Stop/Start cycle
+// resumes sampling. On (re)start the rate baselines are re-primed, so
+// counter growth during a stopped gap is not attributed to the first
+// new tick.
 func (s *Sampler) Start() {
-	s.eng.After(s.interval, s.tick)
+	s.stopped = false
+	if s.timer.Pending() {
+		return
+	}
+	for i, isRate := range s.rate {
+		if isRate {
+			s.prev[i] = s.probes[i]()
+		}
+	}
+	s.timer = s.eng.After(s.interval, s.tick)
 }
 
-// Stop halts sampling after the current tick.
-func (s *Sampler) Stop() { s.stopped = true }
+// Stop halts sampling immediately: the pending tick is cancelled and no
+// further samples are recorded until Start is called again.
+func (s *Sampler) Stop() {
+	s.stopped = true
+	s.timer.Stop()
+	s.timer = sim.Timer{}
+}
+
+// Running reports whether the sampler has a tick scheduled.
+func (s *Sampler) Running() bool { return s.timer.Pending() }
 
 func (s *Sampler) tick() {
+	s.timer = sim.Timer{}
 	if s.stopped {
 		return
 	}
@@ -153,7 +179,7 @@ func (s *Sampler) tick() {
 			s.series[i].Add(now, v)
 		}
 	}
-	s.eng.After(s.interval, s.tick)
+	s.timer = s.eng.After(s.interval, s.tick)
 }
 
 // Table renders aligned plain-text result tables.
@@ -188,15 +214,23 @@ func (t *Table) AddRow(cells ...any) {
 // Rows returns the formatted row count.
 func (t *Table) Rows() int { return len(t.rows) }
 
-// Render returns the aligned table text.
+// Render returns the aligned table text. Rows wider than the header
+// get extra unlabeled columns rather than panicking; rows narrower than
+// the header simply end early.
 func (t *Table) Render() string {
-	widths := make([]int, len(t.Headers))
+	ncols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

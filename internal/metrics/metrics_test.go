@@ -91,6 +91,164 @@ func TestSamplerRates(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileEdges: the documented clamping contract.
+// Min()/Max() call Percentile(0)/Percentile(100) and must work on any
+// non-empty histogram; an empty histogram reports zero everywhere.
+func TestHistogramPercentileEdges(t *testing.T) {
+	empty := &Histogram{}
+	for _, p := range []float64{-5, 0, 50, 100, 150} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v", p, got)
+		}
+	}
+	if empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatalf("empty min/max = %v/%v", empty.Min(), empty.Max())
+	}
+
+	single := &Histogram{}
+	single.Add(7 * time.Microsecond)
+	for _, p := range []float64{-1, 0, 0.001, 50, 100, 101} {
+		if got := single.Percentile(p); got != 7*time.Microsecond {
+			t.Fatalf("single-sample Percentile(%v) = %v", p, got)
+		}
+	}
+	if single.Min() != 7*time.Microsecond || single.Max() != 7*time.Microsecond {
+		t.Fatalf("single min/max = %v/%v", single.Min(), single.Max())
+	}
+
+	h := &Histogram{}
+	h.Add(3 * time.Microsecond)
+	h.Add(time.Microsecond)
+	h.Add(2 * time.Microsecond)
+	if h.Percentile(0) != time.Microsecond || h.Min() != time.Microsecond {
+		t.Fatalf("p0/min = %v/%v", h.Percentile(0), h.Min())
+	}
+	if h.Percentile(100) != 3*time.Microsecond || h.Max() != 3*time.Microsecond {
+		t.Fatalf("p100/max = %v/%v", h.Percentile(100), h.Max())
+	}
+	if h.Percentile(200) != 3*time.Microsecond || h.Percentile(-200) != time.Microsecond {
+		t.Fatal("out-of-range p must clamp")
+	}
+}
+
+// TestSamplerRestart: a Stop/Start cycle must resume sampling (the old
+// stopped flag was never cleared, silently sampling nothing forever).
+func TestSamplerRestart(t *testing.T) {
+	e := sim.NewEngine()
+	var counter float64
+	e.Go("gen", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			p.Sleep(time.Millisecond)
+			counter += 10
+		}
+	})
+	s := NewSampler(e, 10*time.Millisecond)
+	rate := s.TrackRate("rate", func() float64 { return counter })
+
+	s.Start()
+	e.Run(sim.Time(50 * time.Millisecond))
+	s.Stop()
+	afterFirst := rate.Len()
+	if afterFirst == 0 {
+		t.Fatal("no samples in first window")
+	}
+
+	// Stopped gap: nothing may be recorded.
+	e.Run(sim.Time(100 * time.Millisecond))
+	if rate.Len() != afterFirst {
+		t.Fatalf("sampler recorded while stopped: %d -> %d", afterFirst, rate.Len())
+	}
+
+	// Restart: sampling resumes, and the 500 units grown during the gap
+	// must not be attributed to the first new tick.
+	s.Start()
+	if !s.Running() {
+		t.Fatal("Start after Stop did not schedule a tick")
+	}
+	e.Run(sim.Time(150 * time.Millisecond))
+	s.Stop()
+	e.Drain()
+	if rate.Len() <= afterFirst {
+		t.Fatal("sampler did not resume after Stop/Start")
+	}
+	for i := afterFirst; i < rate.Len(); i++ {
+		if rate.Values[i] < 9000 || rate.Values[i] > 11000 {
+			t.Fatalf("post-restart sample %d = %v, want ~10000 (gap growth leaked in)", i, rate.Values[i])
+		}
+	}
+}
+
+// TestSamplerDoubleStart: a second Start while running must not
+// double-schedule ticks (which double-counted rate deltas by sampling
+// each interval twice).
+func TestSamplerDoubleStart(t *testing.T) {
+	e := sim.NewEngine()
+	var counter float64
+	e.Go("gen", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Millisecond)
+			counter += 10
+		}
+	})
+	s := NewSampler(e, 10*time.Millisecond)
+	rate := s.TrackRate("rate", func() float64 { return counter })
+	s.Start()
+	s.Start() // must be a no-op
+	e.Run(sim.Time(95 * time.Millisecond))
+	s.Stop()
+	e.Drain()
+	if rate.Len() > 10 {
+		t.Fatalf("double Start doubled the tick train: %d samples", rate.Len())
+	}
+	for i, v := range rate.Values {
+		if v < 9000 || v > 11000 {
+			t.Fatalf("sample %d = %v, want ~10000", i, v)
+		}
+	}
+}
+
+// TestSamplerTrackRateFirstTick: the first tick reports the rate since
+// Start, not an absolute-counter spike (TrackRate primes the baseline).
+func TestSamplerTrackRateFirstTick(t *testing.T) {
+	e := sim.NewEngine()
+	counter := 1e12 // huge pre-existing total: an unprimed delta would explode
+	e.Go("gen", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			p.Sleep(time.Millisecond)
+			counter += 10
+		}
+	})
+	s := NewSampler(e, 10*time.Millisecond)
+	rate := s.TrackRate("rate", func() float64 { return counter })
+	s.Start()
+	e.Run(sim.Time(15 * time.Millisecond))
+	s.Stop()
+	e.Drain()
+	if rate.Len() == 0 {
+		t.Fatal("no first tick")
+	}
+	if v := rate.Values[0]; v < 9000 || v > 11000 {
+		t.Fatalf("first tick = %v, want ~10000 (baseline not primed)", v)
+	}
+}
+
+// TestTableRenderOverflowRow: a row with more cells than headers must
+// render (extra unlabeled columns), not panic with index out of range.
+func TestTableRenderOverflowRow(t *testing.T) {
+	tb := NewTable("overflow", "a", "b")
+	tb.AddRow("x", "y")
+	tb.AddRow("one", "two", "three-extra", 4)
+	tb.AddRow("short")
+	out := tb.Render() // must not panic
+	if !strings.Contains(out, "three-extra") || !strings.Contains(out, "4") {
+		t.Fatalf("overflow cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := NewTable("demo", "name", "value")
 	tb.AddRow("alpha", 1.5)

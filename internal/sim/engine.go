@@ -99,6 +99,13 @@ type Engine struct {
 	procs    map[*Proc]struct{}
 	tracer   *Tracer
 
+	// idleAt is the latest completion time of fire-and-forget work
+	// (e.g. Pipe.Transfer with a nil callback). Instead of holding a
+	// no-op event in the heap per transfer, RunUntilIdle advances the
+	// clock here once the queue drains, preserving "the run ends when
+	// the last byte has arrived" without per-transfer heap churn.
+	idleAt Time
+
 	// Executed counts dispatched events, for diagnostics and loop guards.
 	Executed uint64
 	// MaxEvents aborts the run (panic) if more than this many events are
@@ -301,7 +308,9 @@ func (e *Engine) Run(until Time) {
 // RunFor advances the simulation by d from the current time.
 func (e *Engine) RunFor(d time.Duration) { e.Run(e.now.Add(d)) }
 
-// RunUntilIdle dispatches events until none remain.
+// RunUntilIdle dispatches events until none remain, then advances the
+// clock over any outstanding fire-and-forget completions (stretchIdle)
+// so it ends at the instant the simulation truly quiesces.
 func (e *Engine) RunUntilIdle() {
 	if e.running {
 		panic("sim: Run called reentrantly")
@@ -310,6 +319,18 @@ func (e *Engine) RunUntilIdle() {
 	e.stopped = false
 	defer func() { e.running = false }()
 	for !e.stopped && e.step() {
+	}
+	if !e.stopped && e.idleAt > e.now {
+		e.now = e.idleAt
+	}
+}
+
+// stretchIdle records that fire-and-forget work completes at t: the
+// queue may drain earlier, but the simulation is not quiescent before
+// t. Used by Pipe.Transfer instead of scheduling a no-op event.
+func (e *Engine) stretchIdle(t Time) {
+	if t > e.idleAt {
+		e.idleAt = t
 	}
 }
 

@@ -202,7 +202,9 @@ func (pp *Pipe) Transfer(bytes int64, done func()) Time {
 	if done != nil {
 		pp.eng.At(finish, done)
 	} else {
-		pp.eng.At(finish, func() {})
+		// Fire-and-forget: nothing to call back, so keep the event heap
+		// out of it and only extend the engine's quiescence horizon.
+		pp.eng.stretchIdle(finish)
 	}
 	return finish
 }

@@ -177,6 +177,29 @@ func RunExperiment(id string, d Durations) (*ExperimentResult, error) {
 // ExperimentIDs lists all reproducible artifacts.
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// Report is the versioned JSON export of an ioctobench run (schema
+// "ioctobench-report", version 1): run metadata, per-figure results,
+// and optional full-system registry snapshots.
+type Report = experiments.Report
+
+// RegistrySnapshot is one NIC mode's full-system telemetry dump.
+type RegistrySnapshot = experiments.RegistrySnapshot
+
+// NewReport assembles a report around computed results.
+func NewReport(ids []string, quick bool, d Durations, results []*ExperimentResult) *Report {
+	return experiments.NewReport(ids, quick, d, results)
+}
+
+// RegistrySnapshots runs the canonical smoke workload once per NIC
+// mode and snapshots each cluster's metrics registry.
+func RegistrySnapshots(d Durations) []RegistrySnapshot {
+	return experiments.RegistrySnapshots(d)
+}
+
+// ValidateReport checks that data is a well-formed report of the
+// current schema version.
+func ValidateReport(data []byte) error { return experiments.ValidateReport(data) }
+
 // SetParallelism bounds how many simulation points (independent
 // clusters) the experiment harness runs concurrently. Results are
 // deterministic at any level; the default is runtime.GOMAXPROCS(0).

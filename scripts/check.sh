@@ -1,12 +1,21 @@
 #!/bin/sh
 # Full verification gate: vet, build, race-check the concurrent pieces
-# (the engine and the parallel experiment harness), then the whole
-# suite. CI and `make check` both run this.
+# (the engine, the metrics registry and the parallel experiment
+# harness), then the whole suite, then an end-to-end JSON report whose
+# schema is validated before it is written (writeReport re-runs
+# ValidateReport) and golden-checked by the experiments tests. CI and
+# `make check` both run this.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./internal/sim/... ./internal/experiments/...
+go test -race ./internal/sim/... ./internal/metrics/... ./internal/experiments/...
 go test ./...
+
+# JSON schema gate: emit a real report and require it to validate.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/ioctobench -fig fig2 -quick -json "$tmp/report.json" > "$tmp/report.txt"
+test -s "$tmp/report.json"
