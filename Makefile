@@ -14,4 +14,4 @@ check:
 
 # Regenerate the performance numbers behind BENCH_sim.json.
 bench:
-	go test -run '^$$' -bench 'BenchmarkSimulatorEventRate|BenchmarkAllFiguresQuick' -benchmem .
+	go test -run '^$$' -bench 'BenchmarkPacketPath$$|BenchmarkSimulatorEventRate|BenchmarkAllFiguresQuick' -benchmem .

@@ -20,6 +20,7 @@ import (
 	"ioctopus/internal/experiments"
 	"ioctopus/internal/kernel"
 	"ioctopus/internal/netstack"
+	"ioctopus/internal/nic"
 	"ioctopus/internal/topology"
 	"ioctopus/internal/workloads"
 )
@@ -141,6 +142,75 @@ func BenchmarkAllFiguresQuickSerial(b *testing.B) { benchAllQuick(b, 1) }
 // parallelism (GOMAXPROCS); on a multi-core host the ratio to the
 // serial benchmark is the harness fan-out speedup.
 func BenchmarkAllFiguresQuickParallel(b *testing.B) { benchAllQuick(b, runtime.GOMAXPROCS(0)) }
+
+// steadyStateCluster builds a single-core Rx streaming cluster and runs
+// it past warm-up: pools populated, rings and buffers allocated, TCP
+// window in regulation. Packet-path measurements start from here.
+func steadyStateCluster() *core.Cluster {
+	cl := ioctopus.NewCluster(ioctopus.Config{Mode: ioctopus.ModeIOctopus})
+	workloads.StartStream(cl, workloads.StreamConfig{
+		MsgSize: 65536, Direction: workloads.Rx,
+		ServerCores: []topology.CoreID{0}, ServerIP: core.IPServerPF0,
+	})
+	cl.Run(20 * time.Millisecond)
+	return cl
+}
+
+// TestPacketPathAllocFree guards the pooled datapath: once warm, a
+// steady-state simulation window allocates nothing — packets, frames,
+// DMA ops and ACK flights all come from free lists. The window is one
+// simulated millisecond (~1300 events of full Rx segment round trips);
+// the bound leaves room only for incidental runtime noise, not for any
+// per-packet cost.
+func TestPacketPathAllocFree(t *testing.T) {
+	cl := steadyStateCluster()
+	defer cl.Drain()
+	allocs := testing.AllocsPerRun(5, func() {
+		cl.Run(time.Millisecond)
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state packet path allocates %.0f allocs/ms, want 0", allocs)
+	}
+}
+
+// BenchmarkPacketPath measures the steady-state packet path alone: one
+// simulated millisecond of single-core Rx streaming per iteration, with
+// cluster construction excluded. Contrast with
+// BenchmarkSimulatorEventRate, which includes construction per op.
+func BenchmarkPacketPath(b *testing.B) {
+	cl := steadyStateCluster()
+	defer cl.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := cl.Eng.Executed
+	for i := 0; i < b.N; i++ {
+		cl.Run(time.Millisecond)
+	}
+	b.ReportMetric(float64(cl.Eng.Executed-events)/float64(b.N), "events/op")
+}
+
+// TestPoolingPreservesResults is the A/B regression gate for the packet
+// pools: the same experiments, pooling on vs off, must render byte-
+// identical results — pooling recycles model objects but must never
+// change what the model computes.
+func TestPoolingPreservesResults(t *testing.T) {
+	render := func(id string) string {
+		res, err := experiments.Run(id, experiments.Quick())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		return res.Render()
+	}
+	for _, id := range []string{"fig8", "fig9", "ablation-sg"} {
+		pooled := render(id)
+		nic.SetPooling(false)
+		unpooled := render(id)
+		nic.SetPooling(true)
+		if pooled != unpooled {
+			t.Errorf("%s: pooled and unpooled runs differ\npooled:\n%s\nunpooled:\n%s", id, pooled, unpooled)
+		}
+	}
+}
 
 // measureRxPair runs one local and one remote single-core Rx stream and
 // returns their throughputs (the headline numbers of Figure 6).

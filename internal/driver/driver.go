@@ -66,6 +66,11 @@ type queuePair struct {
 	rx     *nic.RxQueue
 	rxDesc *device.Ring
 	tx     *nic.TxQueue
+
+	// Prepared interrupt vectors and their NAPI handlers, built once at
+	// queue setup so interrupt delivery allocates nothing.
+	rxLine *kernel.IRQLine
+	txLine *kernel.IRQLine
 }
 
 // base carries the machinery shared by both drivers.
@@ -75,6 +80,46 @@ type base struct {
 	params Params
 	stack  *netstack.Stack
 	pairs  []*queuePair // indexed by core id
+
+	// scratch holds each thread's reusable xmit state. A thread has at
+	// most one ExecFn in flight, so its scratch record is stable from
+	// submission until the cost callback runs.
+	scratch map[*kernel.Thread]*xmitScratch
+}
+
+// xmitScratch is one thread's cached transmit-cost state: the cost
+// callback is built once per (driver, thread) pair and reads the
+// per-call fields, replacing a closure per transmitted segment.
+type xmitScratch struct {
+	b     *base
+	t     *kernel.Thread
+	qp    *queuePair
+	descs int
+	cost  func() time.Duration
+}
+
+// run prices the descriptor write + doorbell on the thread's current
+// node (evaluated at execution time, as the inline closure did).
+func (sc *xmitScratch) run() time.Duration {
+	cost := sc.qp.tx.DescRing().HostWrite(sc.t.Node(), sc.descs)
+	cost += sc.b.params.DoorbellCPU
+	// Doorbell flight time is charged to the device side via MMIOWrite
+	// (it also accounts interconnect crossing if remote).
+	return cost
+}
+
+// scratchFor returns (lazily creating) the thread's xmit scratch.
+func (b *base) scratchFor(t *kernel.Thread) *xmitScratch {
+	if b.scratch == nil {
+		b.scratch = make(map[*kernel.Thread]*xmitScratch)
+	}
+	sc := b.scratch[t]
+	if sc == nil {
+		sc = &xmitScratch{b: b, t: t}
+		sc.cost = sc.run
+		b.scratch[t] = sc
+	}
+	return sc
 }
 
 // Bind attaches the driver to a stack; must be called before traffic
@@ -123,23 +168,20 @@ func (b *base) buildQueues(mem *memsys.System, pfFor func(c topology.CoreID) *ni
 		rxComp := device.NewRing(mem, b.name+":rxc"+cs, compHome, nicParams.RxRingEntries, nicParams.DescBytes)
 		qp.rxDesc = device.NewRing(mem, b.name+":rxd"+cs, node, nicParams.RxRingEntries, nicParams.DescBytes)
 		bufs := make([]*memsys.Buffer, 0, nicParams.RxBufCount)
+		bufName := b.name + ":rxbuf" + cs
 		for i := 0; i < nicParams.RxBufCount; i++ {
-			bufs = append(bufs, mem.NewBuffer(b.name+":rxbuf"+cs+"."+strconv.Itoa(i), node, nicParams.RxBufBytes))
+			bufs = append(bufs, mem.NewBuffer(bufName, node, nicParams.RxBufBytes))
 		}
-		qp.rx = pf.AddRxQueue(rxComp, bufs, node, func() { b.rxIRQ(qp) })
+		qp.rxLine = b.k.Core(core).NewIRQLine(b.name+":rx", func() time.Duration { return b.napiRx(qp) })
+		qp.rx = pf.AddRxQueue(rxComp, bufs, node, qp.rxLine.Raise)
 
 		txDesc := device.NewRing(mem, b.name+":txd"+cs, node, nicParams.TxRingEntries, nicParams.DescBytes)
 		txComp := device.NewRing(mem, b.name+":txc"+cs, compHome, nicParams.TxRingEntries, nicParams.DescBytes)
-		qp.tx = pf.AddTxQueue(txDesc, txComp, node, func() { b.txIRQ(qp) })
+		qp.txLine = b.k.Core(core).NewIRQLine(b.name+":tx", func() time.Duration { return b.napiTx(qp) })
+		qp.tx = pf.AddTxQueue(txDesc, txComp, node, qp.txLine.Raise)
 
 		b.pairs = append(b.pairs, qp)
 	}
-}
-
-// rxIRQ is the Rx interrupt handler: schedule the NAPI poll on the
-// queue's core.
-func (b *base) rxIRQ(qp *queuePair) {
-	b.k.Core(qp.core).IRQ(b.name+":rx", func() time.Duration { return b.napiRx(qp) })
 }
 
 // napiRx is the NAPI poll: reap completions, charge driver+protocol
@@ -164,13 +206,9 @@ func (b *base) napiRx(qp *queuePair) time.Duration {
 	return cost
 }
 
-// txIRQ schedules Tx completion cleanup on the queue's core.
-func (b *base) txIRQ(qp *queuePair) {
-	b.k.Core(qp.core).IRQ(b.name+":tx", func() time.Duration { return b.napiTx(qp) })
-}
-
 // napiTx reaps Tx completions: per-packet completion-entry reads and
-// skb frees, then OnSent callbacks.
+// skb frees, then OnSent callbacks. Reap is the Tx recycle point: the
+// driver owns the packet here and returns it to the NIC's pool.
 func (b *base) napiTx(qp *queuePair) time.Duration {
 	var cost time.Duration
 	for _, pkt := range qp.tx.Reap(b.params.NAPIBudget) {
@@ -179,6 +217,7 @@ func (b *base) napiTx(qp *queuePair) time.Duration {
 		if pkt.OnSent != nil {
 			pkt.OnSent()
 		}
+		pkt.Recycle()
 	}
 	qp.tx.NapiComplete()
 	return cost
@@ -195,27 +234,24 @@ func (b *base) xmit(t *kernel.Thread, pkt *netstack.Packet, txq int) {
 	if descs <= 0 {
 		descs = 1
 	}
-	t.ExecFn(func() time.Duration {
-		cost := qp.tx.DescRing().HostWrite(t.Node(), descs)
-		cost += b.params.DoorbellCPU
-		// Doorbell flight time is charged to the device side below via
-		// MMIOWrite (it also accounts interconnect crossing if remote).
-		return cost
-	})
+	sc := b.scratchFor(t)
+	sc.qp, sc.descs = qp, descs
+	t.ExecFn(sc.cost)
 	flight := qp.tx.PF().Endpoint().MMIOWrite(t.Node())
-	txPkt := &nic.TxPacket{
-		Payload:     pkt.Payload,
-		Packets:     pkt.Packets,
-		Descriptors: descs,
-		Flow:        pkt.Flow,
-		Dst:         pkt.DstMAC,
-		Meta:        pkt.Meta,
-		OnSent:      pkt.OnSent,
-	}
+	txPkt := qp.tx.PF().NIC().LeaseTxPacket()
+	txPkt.Payload = pkt.Payload
+	txPkt.Packets = pkt.Packets
+	txPkt.Descriptors = descs
+	txPkt.Flow = pkt.Flow
+	txPkt.Dst = pkt.DstMAC
+	txPkt.Meta = pkt.Meta
+	txPkt.OnSent = pkt.OnSent
+	// The leased packet keeps its fragment backing array across
+	// recycles; append re-fills it without reallocating.
 	for _, f := range pkt.Frags {
 		txPkt.Frags = append(txPkt.Frags, nic.TxFrag{Buf: f.Buf, Bytes: f.Bytes})
 	}
-	b.k.Engine().After(flight, func() { qp.tx.Post(txPkt) })
+	b.k.Engine().After(flight, txPkt.DeferPost(qp.tx))
 }
 
 // RawTx exposes the queue-level transmit path for in-kernel packet

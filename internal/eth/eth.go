@@ -98,7 +98,103 @@ type Frame struct {
 	SentAt sim.Time
 	// Meta carries simulation-side context (e.g. message ids).
 	Meta any
+
+	// Pool plumbing: frames leased from a FramePool carry their origin
+	// and a cached delivery thunk so Wire.Send does not allocate a
+	// closure per frame. All fields are zero for plain &Frame{} frames,
+	// which keep the original (allocating) behaviour.
+	pool   *FramePool
+	leased bool
+	gen    uint32
+	rxPort Port
+	// deliver is the cached f.runDeliver method value.
+	deliver func()
 }
+
+// runDeliver hands the frame to the port recorded by Wire.Send.
+func (f *Frame) runDeliver() {
+	p := f.rxPort
+	f.rxPort = nil
+	p.Receive(f)
+}
+
+// Release returns a pooled frame to its pool; the device that consumed
+// the frame (a NIC after steering, a switch after flooding copies)
+// calls it once the frame is dead. Releasing twice is a lifecycle bug
+// and panics; Release on an unpooled frame is a no-op.
+func (f *Frame) Release() {
+	p := f.pool
+	if p == nil {
+		return
+	}
+	if !f.leased {
+		panic("eth: Frame released twice")
+	}
+	f.leased = false
+	f.gen++
+	f.Meta = nil
+	f.rxPort = nil
+	p.stats.Live--
+	p.stats.Recycled++
+	p.free = append(p.free, f)
+}
+
+// detach strips pool identity from a frame copy (switch flooding makes
+// value copies whose cached thunks would still point at the original).
+func (f *Frame) detach() {
+	f.pool = nil
+	f.leased = false
+	f.rxPort = nil
+	f.deliver = nil
+}
+
+// PoolStats counts pool traffic: Hits/Misses split leases between
+// recycled and freshly allocated objects; Live is leases not yet
+// returned.
+type PoolStats struct {
+	Hits, Misses, Recycled uint64
+	Live                   int
+}
+
+// FramePool recycles Frames for a transmitting device. With pooled
+// false (the pre-pooling A/B baseline) Get returns fresh unpooled
+// frames and Release is a no-op.
+type FramePool struct {
+	pooled bool
+	free   []*Frame
+	stats  PoolStats
+}
+
+// NewFramePool returns a frame pool; pooled=false disables recycling.
+func NewFramePool(pooled bool) *FramePool {
+	return &FramePool{pooled: pooled}
+}
+
+// Get leases a frame. Payload fields are the previous use's leftovers;
+// the caller fills every field it sends.
+func (p *FramePool) Get() *Frame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		f.leased = true
+		p.stats.Hits++
+		p.stats.Live++
+		return f
+	}
+	f := &Frame{}
+	f.deliver = f.runDeliver
+	if p.pooled {
+		f.pool = p
+		f.leased = true
+		p.stats.Misses++
+		p.stats.Live++
+	}
+	return f
+}
+
+// Stats returns the pool counters.
+func (p *FramePool) Stats() PoolStats { return p.stats }
 
 // WireBytes returns the frame's size on the wire including per-packet
 // header overhead.
@@ -165,14 +261,24 @@ func NewWire(e *sim.Engine, cfg WireConfig, a, b Port) *Wire {
 // other end after serialization + propagation.
 func (w *Wire) Send(from Port, f *Frame) {
 	f.SentAt = w.eng.Now()
+	var pipe *sim.Pipe
+	var to Port
 	switch from {
 	case w.a:
-		w.ab.Transfer(f.WireBytes(), func() { w.b.Receive(f) })
+		pipe, to = w.ab, w.b
 	case w.b:
-		w.ba.Transfer(f.WireBytes(), func() { w.a.Receive(f) })
+		pipe, to = w.ba, w.a
 	default:
 		panic("eth: Send from a port not on this wire")
 	}
+	if f.deliver != nil {
+		// Pooled frame: the cached thunk delivers to rxPort, saving a
+		// closure per frame. A frame is on at most one wire at a time.
+		f.rxPort = to
+		pipe.Transfer(f.WireBytes(), f.deliver)
+		return
+	}
+	pipe.Transfer(f.WireBytes(), func() { to.Receive(f) })
 }
 
 // Utilization returns the utilization of the direction out of `from`.

@@ -83,9 +83,14 @@ func (s *Switch) forward(inPort int, f *Frame) {
 				if i == inPort {
 					continue
 				}
+				// Value copies must not inherit the original's pool
+				// identity or cached delivery thunk.
 				cp := *f
+				cp.detach()
 				p.wire.Send(p, &cp)
 			}
+			// The original is consumed here: only its copies travel on.
+			f.Release()
 			return
 		}
 		if lag, ok := s.lagOf[out]; ok {

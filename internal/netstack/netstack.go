@@ -110,7 +110,9 @@ type NetDevice interface {
 	// ooo_okay decision).
 	TxInFlight(q int) int
 	// Xmit hands a segment to the driver on the chosen queue. The
-	// calling thread is charged the driver-side CPU costs.
+	// calling thread is charged the driver-side CPU costs. Xmit must
+	// copy what it needs before returning: the Packet (and its Frags
+	// slice) may be caller-owned scratch reused for the next segment.
 	Xmit(t *kernel.Thread, pkt *Packet, txq int)
 	// SteerFlow is ndo_rx_flow_steer: steer the arriving flow toward
 	// the given core (ARFS; IOctoRFS on the octo driver).
@@ -241,6 +243,12 @@ func (st *Stack) newSocket(ft eth.FiveTuple, dev NetDevice, owner *kernel.Thread
 		advertised: st.params.RxBufBytes,
 	}
 	s.rxq = newSegQueue(st.k.Engine(), st.params.RxBufBytes)
+	// Cache the hot-path cost callbacks once per socket; the per-call
+	// state they read lives in the socket's scratch fields.
+	s.sendCostFn = s.sendCost
+	s.sgCostFn = s.sgCost
+	s.recvCostFn = s.recvCost
+	s.syscallFn = func() time.Duration { return s.stack.params.Syscall }
 	st.sockets[ft] = s
 	st.sockList = append(st.sockList, s)
 	return s
@@ -252,11 +260,14 @@ func (st *Stack) DeliverRx(rxp *nic.RxPacket) {
 	st.rxSegments++
 	s, ok := st.sockets[rxp.Flow.Reverse()]
 	if !ok {
+		// Drop paths consume the packet: recycle it here, exactly once.
 		st.rxDrops++
+		rxp.Recycle()
 		return
 	}
 	if !s.rxq.tryPut(rxp) {
 		st.rxDrops++
+		rxp.Recycle()
 		return
 	}
 	// TCP acknowledges on kernel receipt and advertises the remaining

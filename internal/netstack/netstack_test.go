@@ -45,8 +45,13 @@ func (d *fakeDev) TxInFlight(q int) int                          { return d.inFl
 func (d *fakeDev) SteerFlow(ft eth.FiveTuple, c topology.CoreID) { d.steered[ft] = c }
 
 // Xmit loops the segment back into whatever stack owns the destination
-// flow, via a small delay (so in-order delivery holds).
+// flow, via a small delay (so in-order delivery holds). Per the
+// NetDevice contract the incoming Packet may be caller-owned scratch,
+// so the fake copies it before retaining.
 func (d *fakeDev) Xmit(t *kernel.Thread, pkt *Packet, txq int) {
+	cp := *pkt
+	cp.Frags = append([]Frag(nil), pkt.Frags...)
+	pkt = &cp
 	d.sent = append(d.sent, pkt)
 	st, _ := d.net.lookup(pkt.Flow.DstIP)
 	if st == nil {
@@ -340,6 +345,44 @@ func TestSocketClose(t *testing.T) {
 		t.Fatal("receiver did not unblock on Close")
 	}
 	r.eng.Drain()
+}
+
+// TestSegQueueDequeueAccounting covers the shared dequeue helper behind
+// get/tryGet: byte accounting, slot clearing, and backing-array
+// compaction once the queue drains.
+func TestSegQueueDequeueAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	q := newSegQueue(eng, 10000)
+	a := &nic.RxPacket{Payload: 4000}
+	b := &nic.RxPacket{Payload: 5000}
+	if !q.tryPut(a) || !q.tryPut(b) {
+		t.Fatal("puts within capacity must succeed")
+	}
+	if q.tryPut(&nic.RxPacket{Payload: 2000}) {
+		t.Fatal("put beyond capBytes must be refused")
+	}
+	if q.free() != 1000 {
+		t.Fatalf("free = %d, want 1000", q.free())
+	}
+	got, ok := q.tryGet()
+	if !ok || got != a {
+		t.Fatalf("tryGet = %v, %v", got, ok)
+	}
+	if q.free() != 5000 || q.len() != 1 {
+		t.Fatalf("free = %d len = %d after dequeue", q.free(), q.len())
+	}
+	if got2, _ := q.tryGet(); got2 != b {
+		t.Fatalf("tryGet = %v, want b", got2)
+	}
+	// Drained: head index resets and the backing array is reused.
+	if q.head != 0 || len(q.items) != 0 {
+		t.Fatalf("queue should compact when drained: head=%d items=%d", q.head, len(q.items))
+	}
+	q.close()
+	if q.tryPut(a) {
+		t.Fatal("closed queue must refuse puts")
+	}
+	eng.Drain()
 }
 
 func TestDuplicateIPPanics(t *testing.T) {

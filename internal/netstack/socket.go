@@ -41,6 +41,100 @@ type Socket struct {
 	receivedBytes int64
 	sentSegs      uint64
 	receivedSegs  uint64
+
+	// Zero-alloc scratch state. A socket has at most one sending and
+	// one receiving thread at a time (every workload in the suite obeys
+	// this; it mirrors the lock a real socket would take), and a thread
+	// has at most one ExecFn in flight, so one scratch record per
+	// direction is stable from submission until its cost callback runs.
+	sendT      *kernel.Thread
+	sendSrc    *memsys.Buffer
+	sendSeg    int64
+	sendPkts   int
+	sendFirst  bool
+	sendCostFn func() time.Duration // cached s.sendCost
+	sgCostFn   func() time.Duration // cached s.sgCost
+	sendPkt    Packet               // reused skb handed to Xmit
+	sendFrag   [1]Frag              // backing array for sendPkt.Frags
+
+	recvT       *kernel.Thread
+	recvRxp     *nic.RxPacket
+	recvBlocked bool
+	recvCostFn  func() time.Duration // cached s.recvCost
+	syscallFn   func() time.Duration // cached syscall-entry cost
+
+	// ackFree recycles window-update events (one ACK flight per
+	// received segment would otherwise allocate a closure each).
+	ackFree *ackEvent
+}
+
+// sendCost prices one transmit segment: protocol work, syscall entry
+// on the first segment, and the user->kernel copy — all evaluated at
+// execution time on the submitting thread's then-current node, exactly
+// as the former per-segment closure did.
+func (s *Socket) sendCost() time.Duration {
+	p := s.stack.params
+	cost := p.TCPTxSegment + time.Duration(s.sendPkts)*p.TCPTxPerPacket
+	if s.ft.Proto == eth.ProtoUDP {
+		cost = time.Duration(s.sendPkts) * p.UDPPerPacket
+	}
+	if s.sendFirst {
+		cost += p.Syscall
+	}
+	nd := s.sendT.Node()
+	src := s.sendSrc
+	if src == nil {
+		src = s.userBuf(nd)
+	}
+	dst := s.txBuf(nd)
+	cost += s.stack.k.Memory().CPURead(nd, src, s.sendSeg)
+	cost += s.stack.k.Memory().CPUWrite(nd, dst, s.sendSeg)
+	return cost
+}
+
+// sgCost prices a SendFrags segment (no user->kernel copy).
+func (s *Socket) sgCost() time.Duration {
+	p := s.stack.params
+	return p.Syscall + p.TCPTxSegment + time.Duration(s.sendPkts)*p.TCPTxPerPacket
+}
+
+// recvCost prices delivering one segment to the application: the copy
+// out of the DMA'd packet buffer plus a context switch if the reader
+// had blocked.
+func (s *Socket) recvCost() time.Duration {
+	nd := s.recvT.Node()
+	rxp := s.recvRxp
+	cost := s.stack.k.Memory().CPURead(nd, rxp.Buf, rxp.Payload)
+	cost += s.stack.k.Memory().CPUWrite(nd, s.userBuf(nd), rxp.Payload)
+	if s.recvBlocked {
+		// The thread slept and was woken by the softirq: context
+		// switch back in.
+		cost += s.stack.k.Params().ContextSwitch
+	}
+	return cost
+}
+
+// ackEvent is a pooled window-update flight: peer/acked/free are
+// captured at schedule time (the peer pointer may be cleared by Close
+// before the ACK lands) and the record returns to its socket's free
+// list as it fires.
+type ackEvent struct {
+	owner *Socket
+	peer  *Socket
+	acked int64
+	free  int64
+	fn    func() // cached ev.run
+	next  *ackEvent
+}
+
+func (ev *ackEvent) run() {
+	peer, acked, free := ev.peer, ev.acked, ev.free
+	ev.peer = nil
+	s := ev.owner
+	ev.next = s.ackFree
+	s.ackFree = ev
+	peer.ack(acked)
+	peer.advertise(free)
 }
 
 // Flow returns the socket's 5-tuple (local perspective).
@@ -146,25 +240,9 @@ func (s *Socket) sendFrom(t *kernel.Thread, srcBuf *memsys.Buffer, n int64, meta
 		pkts := eth.SegmentPackets(seg)
 		node := t.Node()
 		// Stack-side CPU: syscall (first segment), copy user->kernel,
-		// protocol work.
-		t.ExecFn(func() time.Duration {
-			cost := p.TCPTxSegment + time.Duration(pkts)*p.TCPTxPerPacket
-			if s.ft.Proto == eth.ProtoUDP {
-				cost = time.Duration(pkts) * p.UDPPerPacket
-			}
-			if first {
-				cost += p.Syscall
-			}
-			nd := t.Node()
-			src := srcBuf
-			if src == nil {
-				src = s.userBuf(nd)
-			}
-			dst := s.txBuf(nd)
-			cost += s.stack.k.Memory().CPURead(nd, src, seg)
-			cost += s.stack.k.Memory().CPUWrite(nd, dst, seg)
-			return cost
-		})
+		// protocol work — priced by the cached sendCost callback.
+		s.sendT, s.sendSrc, s.sendSeg, s.sendPkts, s.sendFirst = t, srcBuf, seg, pkts, first
+		t.ExecFn(s.sendCostFn)
 		first = false
 
 		// XPS: pick the queue for the current core; switch away from a
@@ -182,12 +260,16 @@ func (s *Socket) sendFrom(t *kernel.Thread, srcBuf *memsys.Buffer, n int64, meta
 		s.seq++
 		s.sentBytes += seg
 		s.sentSegs++
-		pkt := &Packet{
+		// The skb is the socket's scratch Packet: Xmit must not retain
+		// it (see NetDevice), so it is reusable next iteration.
+		pkt := &s.sendPkt
+		s.sendFrag[0] = Frag{Buf: s.txBuf(node), Bytes: seg}
+		*pkt = Packet{
 			Flow:    s.ft,
 			DstMAC:  s.peerMAC,
 			Payload: seg,
 			Packets: pkts,
-			Frags:   []Frag{{Buf: s.txBuf(node), Bytes: seg}},
+			Frags:   s.sendFrag[:1],
 			Proto:   s.ft.Proto,
 			Meta:    meta,
 			OOOOkay: oooOK,
@@ -204,7 +286,6 @@ func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
 	if s.owner == nil {
 		s.owner = t
 	}
-	p := s.stack.params
 	var total int64
 	for _, f := range frags {
 		total += f.Bytes
@@ -216,14 +297,14 @@ func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
 		}
 		s.inFlight += total
 	}
-	t.ExecFn(func() time.Duration {
-		return p.Syscall + p.TCPTxSegment + time.Duration(pkts)*p.TCPTxPerPacket
-	})
+	s.sendPkts = pkts
+	t.ExecFn(s.sgCostFn)
 	desired := s.dev.TxQueueForCore(t.Core())
 	s.txq = desired
 	s.sentBytes += total
 	s.sentSegs++
-	s.dev.Xmit(t, &Packet{
+	pkt := &s.sendPkt
+	*pkt = Packet{
 		Flow:    s.ft,
 		DstMAC:  s.peerMAC,
 		Payload: total,
@@ -231,7 +312,8 @@ func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
 		Frags:   frags,
 		Proto:   s.ft.Proto,
 		Meta:    meta,
-	}, desired)
+	}
+	s.dev.Xmit(t, pkt, desired)
 }
 
 // Recv delivers the next received segment to the application: syscall +
@@ -239,27 +321,22 @@ func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
 // core. ok is false only if the socket is shut down.
 func (s *Socket) Recv(t *kernel.Thread) (payload int64, meta any, ok bool) {
 	s.owner = t
-	p := s.stack.params
-	t.ExecFn(func() time.Duration { return p.Syscall })
+	t.ExecFn(s.syscallFn)
 	rxp, blocked := s.rxq.get(t)
 	if rxp == nil {
 		return 0, nil, false
 	}
-	t.ExecFn(func() time.Duration {
-		nd := t.Node()
-		cost := s.stack.k.Memory().CPURead(nd, rxp.Buf, rxp.Payload)
-		cost += s.stack.k.Memory().CPUWrite(nd, s.userBuf(nd), rxp.Payload)
-		if blocked {
-			// The thread slept and was woken by the softirq: context
-			// switch back in.
-			cost += s.stack.k.Params().ContextSwitch
-		}
-		return cost
-	})
-	s.receivedBytes += rxp.Payload
+	s.recvT, s.recvRxp, s.recvBlocked = t, rxp, blocked
+	t.ExecFn(s.recvCostFn)
+	// ExecFn returned: the copy-out has been charged, so the packet is
+	// consumed — this is the Rx recycle point for the copying path.
+	payload, meta = rxp.Payload, rxp.Meta
+	s.recvRxp = nil
+	rxp.Recycle()
+	s.receivedBytes += payload
 	s.receivedSegs++
 	s.sendWindowUpdate(0)
-	return rxp.Payload, rxp.Meta, true
+	return payload, meta, true
 }
 
 // sendWindowUpdate acknowledges acked bytes and advertises the current
@@ -268,16 +345,22 @@ func (s *Socket) sendWindowUpdate(acked int64) {
 	if s.ft.Proto != eth.ProtoTCP || s.peer == nil {
 		return
 	}
-	peer := s.peer
-	free := s.rxq.free()
-	s.stack.k.Engine().After(s.stack.params.AckLatency, func() {
-		peer.ack(acked)
-		peer.advertise(free)
-	})
+	ev := s.ackFree
+	if ev == nil {
+		ev = &ackEvent{owner: s}
+		ev.fn = ev.run
+	} else {
+		s.ackFree = ev.next
+	}
+	ev.peer = s.peer
+	ev.acked = acked
+	ev.free = s.rxq.free()
+	s.stack.k.Engine().After(s.stack.params.AckLatency, ev.fn)
 }
 
 // TryRecvNoCopy removes a pending segment without charging copy costs
-// (zero-copy consumers and tests).
+// (zero-copy consumers and tests). Ownership of the RxPacket passes to
+// the caller, who must Recycle it exactly once when done with it.
 func (s *Socket) TryRecvNoCopy() (*nic.RxPacket, bool) {
 	rxp, ok := s.rxq.tryGet()
 	if ok {
@@ -341,10 +424,13 @@ func (s *Socket) waitWindow(t *kernel.Thread) {
 }
 
 // segQueue is the socket receive queue: byte-bounded, with blocking
-// get.
+// get. Consumed entries advance a head index and the backing array is
+// reused once drained (the engine-queue compaction scheme), so the
+// per-segment reslice of the old get/tryGet pair is gone.
 type segQueue struct {
 	eng      *sim.Engine
 	items    []*nic.RxPacket
+	head     int
 	capBytes int64
 	bytes    int64
 	sig      *sim.Signal
@@ -355,7 +441,7 @@ func newSegQueue(e *sim.Engine, capBytes int64) *segQueue {
 	return &segQueue{eng: e, capBytes: capBytes, sig: sim.NewSignal(e)}
 }
 
-func (q *segQueue) len() int { return len(q.items) }
+func (q *segQueue) len() int { return len(q.items) - q.head }
 
 // free returns remaining receive-buffer space.
 func (q *segQueue) free() int64 {
@@ -379,31 +465,45 @@ func (q *segQueue) tryPut(rxp *nic.RxPacket) bool {
 	return true
 }
 
+// dequeue removes the head segment; ownership passes to the caller,
+// who must Recycle the packet exactly once (the slot is cleared here so
+// the queue never aliases a recycled packet).
+func (q *segQueue) dequeue() *nic.RxPacket {
+	rxp := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.bytes -= rxp.Payload
+	return rxp
+}
+
 func (q *segQueue) get(t *kernel.Thread) (rxp *nic.RxPacket, blocked bool) {
-	for len(q.items) == 0 {
+	for q.len() == 0 {
 		if q.closed {
 			return nil, blocked
 		}
 		blocked = true
 		t.Wait(q.sig)
 	}
-	rxp = q.items[0]
-	q.items = q.items[1:]
-	q.bytes -= rxp.Payload
-	return rxp, blocked
+	return q.dequeue(), blocked
 }
 
 func (q *segQueue) tryGet() (*nic.RxPacket, bool) {
-	if len(q.items) == 0 {
+	if q.len() == 0 {
 		return nil, false
 	}
-	rxp := q.items[0]
-	q.items = q.items[1:]
-	q.bytes -= rxp.Payload
-	return rxp, true
+	return q.dequeue(), true
 }
 
+// close shuts the queue; undelivered segments will never reach an
+// application and return to their pool here.
 func (q *segQueue) close() {
 	q.closed = true
+	for q.len() > 0 {
+		q.dequeue().Recycle()
+	}
 	q.sig.Broadcast()
 }

@@ -20,9 +20,24 @@ func (n *NIC) RegisterMetrics(r metrics.Registrar) {
 		}
 		return float64(n.fw.FlowCount())
 	})
+	registerPool(r.Scope("pool/rx"), func() PoolStats { return n.rxPool.stats })
+	registerPool(r.Scope("pool/tx"), func() PoolStats { return n.txPool.stats })
+	registerPool(r.Scope("pool/frame"), func() PoolStats {
+		s := n.frames.Stats()
+		return PoolStats{Hits: s.Hits, Misses: s.Misses, Recycled: s.Recycled, Live: s.Live}
+	})
 	for _, pf := range n.pfs {
 		pf.RegisterMetrics(r.Scope(fmt.Sprintf("pf%d", pf.index)))
 	}
+}
+
+// registerPool wires one packet pool's counters/gauges: pool/<kind>/
+// {hits,misses,recycled} counters plus the live-lease gauge.
+func registerPool(r metrics.Registrar, stats func() PoolStats) {
+	r.Counter("hits", func() float64 { return float64(stats().Hits) })
+	r.Counter("misses", func() float64 { return float64(stats().Misses) })
+	r.Counter("recycled", func() float64 { return float64(stats().Recycled) })
+	r.Gauge("live", func() float64 { return float64(stats().Live) })
 }
 
 // RegisterMetrics registers one PF's byte counters plus its queue-set
@@ -59,7 +74,7 @@ func (p *PF) RegisterMetrics(r metrics.Registrar) {
 	rx.Gauge("pending", func() float64 {
 		var s int
 		for _, q := range p.rxQueues {
-			s += len(q.pending)
+			s += q.Pending()
 		}
 		return float64(s)
 	})

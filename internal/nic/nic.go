@@ -71,6 +71,12 @@ type NIC struct {
 	wire   *eth.Wire
 	params Params
 
+	// Packet-object pools (see pool.go): Rx/Tx packet free lists plus
+	// the frame pool backing this NIC's transmissions.
+	rxPool *rxPacketPool
+	txPool *txPacketPool
+	frames *eth.FramePool
+
 	rxDrops   uint64
 	rxFrames  uint64
 	rxPackets uint64
@@ -82,12 +88,16 @@ func New(e *sim.Engine, mem *memsys.System, name string, eps []*pcie.Endpoint, p
 	if len(eps) == 0 {
 		panic("nic: need at least one PF endpoint")
 	}
+	pooled := PoolingEnabled()
 	n := &NIC{
 		eng:    e,
 		mem:    mem,
 		name:   name,
 		mac:    eth.MACFromInt(hashName(name)),
 		params: params,
+		rxPool: &rxPacketPool{pooled: pooled},
+		txPool: &txPacketPool{pooled: pooled},
+		frames: eth.NewFramePool(pooled),
 	}
 	for i, ep := range eps {
 		n.pfs = append(n.pfs, &PF{
@@ -161,9 +171,12 @@ func (n *NIC) Receive(f *eth.Frame) {
 	pf, queue := n.fw.SteerRx(f)
 	if pf < 0 || pf >= len(n.pfs) {
 		n.rxDrops++
-		return
+	} else {
+		n.pfs[pf].receive(queue, f)
 	}
-	n.pfs[pf].receive(queue, f)
+	// The Rx datapath copies everything it needs out of the frame
+	// before any DMA runs, so the frame dies here (no-op if unpooled).
+	f.Release()
 }
 
 // PF is one physical function: a PCIe endpoint plus its queues. Under

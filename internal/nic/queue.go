@@ -12,6 +12,9 @@ import (
 
 // RxPacket is a received segment handed to the driver: payload already
 // DMA'd into Buf, completion entries written to the queue's ring.
+// Packets are leased from the NIC's pool at frame arrival and must be
+// recycled exactly once by their final consumer (see pool.go for the
+// ownership contract).
 type RxPacket struct {
 	Queue     *RxQueue
 	Buf       *memsys.Buffer
@@ -20,6 +23,34 @@ type RxPacket struct {
 	Flow      eth.FiveTuple
 	Meta      any
 	ArrivedAt sim.Time
+
+	// Pool plumbing (zero for plain &RxPacket{} packets, whose Recycle
+	// is a no-op) and the cached DMA-stage callbacks: one payload-DMA
+	// completion and one writeback completion per packet, built once
+	// per pooled object instead of two closures per received frame.
+	pool        *rxPacketPool
+	gen         uint32
+	leased      bool
+	payloadDone func() // cached rxp.runPayloadDone
+	compDone    func() // cached rxp.runCompDone
+}
+
+// runPayloadDone is stage 2 of the Rx datapath: the payload landed in
+// the packet buffer; write the completion entries.
+func (rxp *RxPacket) runPayloadDone() {
+	q := rxp.Queue
+	q.pf.ep.DMAWrite(q.compRing.Buffer(), int64(rxp.Packets)*q.pf.nic.params.DescBytes, rxp.compDone)
+}
+
+// runCompDone is stage 3: the completion writeback is observable; the
+// segment becomes visible to the driver and may raise an interrupt.
+func (rxp *RxPacket) runCompDone() {
+	q := rxp.Queue
+	q.pf.rxBytes += float64(rxp.Payload)
+	rxp.ArrivedAt = q.pf.nic.eng.Now()
+	q.pending = append(q.pending, rxp)
+	q.delivered++
+	q.maybeInterrupt()
 }
 
 // RxQueue is one receive queue: a completion ring the device writes and
@@ -35,9 +66,15 @@ type RxQueue struct {
 	irqNode topology.NodeID
 	onIRQ   func()
 
-	pending    []*RxPacket
+	// pending plus a consumed-head index: Poll returns views into the
+	// backing array and the array is reused once drained, so the poll
+	// path does not reallocate per batch.
+	pending  []*RxPacket
+	pendHead int
+
 	napiActive bool
 	coalesce   sim.Timer
+	fireFn     func() // cached q.fireInterrupt
 
 	drops      uint64
 	delivered  uint64
@@ -59,6 +96,7 @@ func (p *PF) AddRxQueue(compRing *device.Ring, bufs []*memsys.Buffer, irqNode to
 		irqNode:  irqNode,
 		onIRQ:    onIRQ,
 	}
+	q.fireFn = q.fireInterrupt
 	p.rxQueues = append(p.rxQueues, q)
 	return q
 }
@@ -86,44 +124,37 @@ func (q *RxQueue) CompletionRing() *device.Ring { return q.compRing }
 func (q *RxQueue) Drops() uint64 { return q.drops }
 
 // Pending returns how many received segments await the driver.
-func (q *RxQueue) Pending() int { return len(q.pending) }
+func (q *RxQueue) Pending() int { return len(q.pending) - q.pendHead }
 
-// receive runs the hardware Rx datapath for one steered frame.
+// receive runs the hardware Rx datapath for one steered frame. The
+// RxPacket is leased and filled here, before the DMA stages run, so
+// the frame itself is dead once this returns (the NIC releases it) and
+// the DMA completions are the packet's own cached callbacks.
 func (q *RxQueue) receive(f *eth.Frame) {
 	// Ring occupancy check: completions not yet consumed by the host
 	// hold ring entries.
-	if len(q.pending) >= q.compRing.Capacity() {
+	if q.Pending() >= q.compRing.Capacity() {
 		q.drops++
 		q.pf.nic.rxDrops++
 		return
 	}
 	buf := q.bufs[q.bufNext]
 	q.bufNext = (q.bufNext + 1) % len(q.bufs)
-	pkts := max(1, f.Packets)
-	ep := q.pf.ep
+	rxp := q.pf.nic.rxPool.get()
+	rxp.Queue = q
+	rxp.Buf = buf
+	rxp.Payload = f.Payload
+	rxp.Packets = max(1, f.Packets)
+	rxp.Flow = f.Flow
+	rxp.Meta = f.Meta
 	// Payload DMA, then completion writeback, then interrupt decision.
-	ep.DMAWrite(buf, f.Payload, func() {
-		ep.DMAWrite(q.compRing.Buffer(), int64(pkts)*q.pf.nic.params.DescBytes, func() {
-			q.pf.rxBytes += float64(f.Payload)
-			q.pending = append(q.pending, &RxPacket{
-				Queue:     q,
-				Buf:       buf,
-				Payload:   f.Payload,
-				Packets:   pkts,
-				Flow:      f.Flow,
-				Meta:      f.Meta,
-				ArrivedAt: q.pf.nic.eng.Now(),
-			})
-			q.delivered++
-			q.maybeInterrupt()
-		})
-	})
+	q.pf.ep.DMAWrite(buf, f.Payload, rxp.payloadDone)
 }
 
 // maybeInterrupt fires the queue's interrupt respecting NAPI gating and
 // the coalescing holdoff.
 func (q *RxQueue) maybeInterrupt() {
-	if q.napiActive || q.onIRQ == nil || len(q.pending) == 0 {
+	if q.napiActive || q.onIRQ == nil || q.Pending() == 0 {
 		return
 	}
 	delay := q.pf.nic.params.CoalesceDelay
@@ -134,11 +165,11 @@ func (q *RxQueue) maybeInterrupt() {
 	if q.coalesce.Pending() {
 		return
 	}
-	q.coalesce = q.pf.nic.eng.After(delay, q.fireInterrupt)
+	q.coalesce = q.pf.nic.eng.After(delay, q.fireFn)
 }
 
 func (q *RxQueue) fireInterrupt() {
-	if q.napiActive || len(q.pending) == 0 {
+	if q.napiActive || q.Pending() == 0 {
 		return
 	}
 	q.napiActive = true
@@ -146,14 +177,22 @@ func (q *RxQueue) fireInterrupt() {
 	q.pf.ep.Interrupt(q.irqNode, q.onIRQ)
 }
 
-// Poll removes up to budget pending segments (the NAPI poll).
+// Poll removes up to budget pending segments (the NAPI poll). The
+// returned batch aliases the queue's backing array and is valid until
+// the next event that appends to this queue — i.e. for the duration of
+// the synchronous NAPI loop consuming it.
 func (q *RxQueue) Poll(budget int) []*RxPacket {
-	n := len(q.pending)
+	n := q.Pending()
 	if n > budget {
 		n = budget
 	}
-	batch := q.pending[:n]
-	q.pending = q.pending[n:]
+	batch := q.pending[q.pendHead : q.pendHead+n]
+	q.pendHead += n
+	if q.pendHead == len(q.pending) {
+		// Drained: reuse the backing array from the top.
+		q.pending = q.pending[:0]
+		q.pendHead = 0
+	}
 	return batch
 }
 
@@ -173,6 +212,9 @@ type TxFrag struct {
 }
 
 // TxPacket is a segment handed to the device for transmission.
+// Drivers lease them from the NIC's pool (NIC.LeaseTxPacket) and
+// recycle them after reaping the completion; plain &TxPacket{} values
+// still work (Recycle is then a no-op).
 type TxPacket struct {
 	Frags   []TxFrag
 	Payload int64
@@ -185,6 +227,70 @@ type TxPacket struct {
 	Meta        any
 	// OnSent fires after the driver reaps the Tx completion.
 	OnSent func()
+
+	// Pool plumbing plus the packet's cached DMA-stage callbacks: the
+	// per-fragment payload reads of one packet form a single batch
+	// completed by one shared callback and countdown, instead of a
+	// fresh closure per fragment.
+	pool         *txPacketPool
+	gen          uint32
+	leased       bool
+	q            *TxQueue // posting queue, set by Post
+	postQ        *TxQueue // DeferPost target
+	dmaRemaining int
+	fetchDone    func() // cached pkt.runFetchDone
+	fragDone     func() // cached pkt.runFragDone
+	compDone     func() // cached pkt.runCompDone
+	postFn       func() // cached pkt.runPost
+}
+
+// initCallbacks caches the stage callbacks as method values; called
+// once when the object is first constructed (pool.get or first Post).
+func (pkt *TxPacket) initCallbacks() {
+	pkt.fetchDone = pkt.runFetchDone
+	pkt.fragDone = pkt.runFragDone
+	pkt.compDone = pkt.runCompDone
+	pkt.postFn = pkt.runPost
+}
+
+// DeferPost binds the queue the packet will be posted to and returns
+// the cached thunk that performs the post — the driver schedules it
+// after the doorbell flight time without allocating a closure.
+func (pkt *TxPacket) DeferPost(q *TxQueue) func() {
+	if pkt.postFn == nil {
+		pkt.initCallbacks()
+	}
+	pkt.postQ = q
+	return pkt.postFn
+}
+
+// runPost delivers a deferred post.
+func (pkt *TxPacket) runPost() {
+	q := pkt.postQ
+	pkt.postQ = nil
+	q.Post(pkt)
+}
+
+// runFetchDone is stage 2 of the Tx datapath: descriptors fetched;
+// start the payload DMA batch.
+func (pkt *TxPacket) runFetchDone() { pkt.q.startPayloadDMA(pkt) }
+
+// runFragDone counts down the packet's fragment batch; the last
+// fragment puts the frame on the wire.
+func (pkt *TxPacket) runFragDone() {
+	pkt.dmaRemaining--
+	if pkt.dmaRemaining == 0 {
+		pkt.q.transmit(pkt)
+	}
+}
+
+// runCompDone is the final stage: the completion writeback is
+// observable; the packet waits for the driver's reap.
+func (pkt *TxPacket) runCompDone() {
+	q := pkt.q
+	q.sent++
+	q.completed = append(q.completed, pkt)
+	q.maybeInterrupt()
 }
 
 // TxQueue is one transmit queue: descriptor ring (host writes, device
@@ -199,9 +305,14 @@ type TxQueue struct {
 	irqNode topology.NodeID
 	onIRQ   func()
 
-	completed  []*TxPacket
+	// completed plus a consumed-head index (same array-reuse scheme as
+	// RxQueue.pending/Poll).
+	completed []*TxPacket
+	compHead  int
+
 	napiActive bool
 	coalesce   sim.Timer
+	fireFn     func() // cached q.fireInterrupt
 
 	posted     uint64
 	sent       uint64
@@ -218,6 +329,7 @@ func (p *PF) AddTxQueue(descRing, compRing *device.Ring, irqNode topology.NodeID
 		irqNode:  irqNode,
 		onIRQ:    onIRQ,
 	}
+	q.fireFn = q.fireInterrupt
 	p.txQueues = append(p.txQueues, q)
 	return q
 }
@@ -254,30 +366,39 @@ func (q *TxQueue) Post(pkt *TxPacket) {
 	if per := pkt.Payload / int64(pkt.Descriptors); per > nic.params.MaxSegment {
 		panic(fmt.Sprintf("nic %s: %d bytes per descriptor exceeds TSO max %d", nic.name, per, nic.params.MaxSegment))
 	}
-	frags := pkt.Frags
-	if len(frags) == 0 {
+	if len(pkt.Frags) == 0 {
 		panic("nic: TxPacket needs at least one fragment")
 	}
-	// Descriptor fetch, then payload fetch(es), then wire + completion.
-	q.descRing.DeviceRead(q.pf.ep, pkt.Descriptors, func() {
-		remaining := len(frags)
-		for _, fr := range frags {
-			ep := q.pf.ep
-			if nic.fw != nil && nic.fw.SGEnabled() {
-				// IOctoSG: read each fragment through the PF local to
-				// its memory so no fragment crosses the interconnect.
-				if local := nic.pfOn(fr.Buf.Home()); local != nil {
-					ep = local.ep
-				}
+	pkt.q = q
+	if pkt.fetchDone == nil {
+		pkt.initCallbacks()
+	}
+	// Descriptor fetch, then the payload batch, then wire + completion.
+	q.descRing.DeviceRead(q.pf.ep, pkt.Descriptors, pkt.fetchDone)
+}
+
+// startPayloadDMA issues the packet's payload reads as one batch: the
+// fragments are fetched in descriptor order — through this PF, or
+// fragment-local PFs when the firmware has IOctoSG — and all share the
+// packet's cached countdown callback, so fragment count never changes
+// the number of closures (zero) or the event sequence.
+func (q *TxQueue) startPayloadDMA(pkt *TxPacket) {
+	nic := q.pf.nic
+	frags := pkt.Frags
+	pkt.dmaRemaining = len(frags)
+	sg := nic.fw != nil && nic.fw.SGEnabled()
+	for i := range frags {
+		fr := &frags[i]
+		ep := q.pf.ep
+		if sg {
+			// IOctoSG: read each fragment through the PF local to
+			// its memory so no fragment crosses the interconnect.
+			if local := nic.pfOn(fr.Buf.Home()); local != nil {
+				ep = local.ep
 			}
-			ep.DMARead(fr.Buf, fr.Bytes, func() {
-				remaining--
-				if remaining == 0 {
-					q.transmit(pkt)
-				}
-			})
 		}
-	})
+		ep.DMARead(fr.Buf, fr.Bytes, pkt.fragDone)
+	}
 }
 
 // transmit puts the assembled frame on the wire and completes.
@@ -287,27 +408,26 @@ func (q *TxQueue) transmit(pkt *TxPacket) {
 	if nic.fw != nil && nic.fw.SingleMAC() {
 		src = nic.mac
 	}
-	frame := &eth.Frame{
-		Src:     src,
-		Dst:     pkt.Dst,
-		Flow:    pkt.Flow,
-		Payload: pkt.Payload,
-		Packets: max(1, pkt.Packets),
-		Meta:    pkt.Meta,
-	}
+	frame := nic.frames.Get()
+	frame.Src = src
+	frame.Dst = pkt.Dst
+	frame.Flow = pkt.Flow
+	frame.Payload = pkt.Payload
+	frame.Packets = max(1, pkt.Packets)
+	frame.Seq = 0
+	frame.Meta = pkt.Meta
 	nic.wire.Send(nic, frame)
 	q.pf.txBytes += float64(pkt.Payload)
 	// Completion writeback for the segment's packets.
-	q.pf.ep.DMAWrite(q.compRing.Buffer(), int64(frame.Packets)*nic.params.DescBytes, func() {
-		q.sent++
-		q.completed = append(q.completed, pkt)
-		q.maybeInterrupt()
-	})
+	q.pf.ep.DMAWrite(q.compRing.Buffer(), int64(frame.Packets)*nic.params.DescBytes, pkt.compDone)
 }
+
+// completedPending returns completions awaiting the driver's reap.
+func (q *TxQueue) completedPending() int { return len(q.completed) - q.compHead }
 
 // maybeInterrupt mirrors the Rx side's NAPI gating.
 func (q *TxQueue) maybeInterrupt() {
-	if q.napiActive || q.onIRQ == nil || len(q.completed) == 0 {
+	if q.napiActive || q.onIRQ == nil || q.completedPending() == 0 {
 		return
 	}
 	delay := q.pf.nic.params.CoalesceDelay
@@ -318,11 +438,11 @@ func (q *TxQueue) maybeInterrupt() {
 	if q.coalesce.Pending() {
 		return
 	}
-	q.coalesce = q.pf.nic.eng.After(delay, q.fireInterrupt)
+	q.coalesce = q.pf.nic.eng.After(delay, q.fireFn)
 }
 
 func (q *TxQueue) fireInterrupt() {
-	if q.napiActive || len(q.completed) == 0 {
+	if q.napiActive || q.completedPending() == 0 {
 		return
 	}
 	q.napiActive = true
@@ -330,14 +450,20 @@ func (q *TxQueue) fireInterrupt() {
 	q.pf.ep.Interrupt(q.irqNode, q.onIRQ)
 }
 
-// Reap removes up to budget completed packets for driver cleanup.
+// Reap removes up to budget completed packets for driver cleanup. Like
+// RxQueue.Poll, the batch aliases the queue's backing array and is
+// valid for the synchronous reap loop consuming it.
 func (q *TxQueue) Reap(budget int) []*TxPacket {
-	n := len(q.completed)
+	n := q.completedPending()
 	if n > budget {
 		n = budget
 	}
-	batch := q.completed[:n]
-	q.completed = q.completed[n:]
+	batch := q.completed[q.compHead : q.compHead+n]
+	q.compHead += n
+	if q.compHead == len(q.completed) {
+		q.completed = q.completed[:0]
+		q.compHead = 0
+	}
 	return batch
 }
 

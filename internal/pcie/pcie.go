@@ -66,10 +66,74 @@ type Endpoint struct {
 	// hop, extender retimers).
 	extraLatency time.Duration
 
+	// opFree recycles dmaOp records so steady-state DMA traffic does
+	// not allocate a closure per transaction stage.
+	opFree []*dmaOp
+
 	dmaReadBytes  float64
 	dmaWriteBytes float64
 	mmioOps       uint64
 	interrupts    uint64
+}
+
+// dmaOp is one in-flight DMA transaction's pooled state: the second
+// stage of a DMAWrite (memory landing after uplink serialization) or a
+// DMARead (downlink serialization after the memory supplies the data)
+// runs from a cached method value instead of a per-call closure. Ops
+// are recycled through the endpoint's free list the moment their stage
+// fires, so the pool high-water mark is the endpoint's maximum
+// transaction concurrency.
+type dmaOp struct {
+	ep       *Endpoint
+	buf      *memsys.Buffer
+	n        int64
+	done     func()
+	writeRun func() // cached op.runWrite
+	readRun  func() // cached op.runRead
+}
+
+// getOp leases a transaction record from the endpoint's free list.
+func (ep *Endpoint) getOp() *dmaOp {
+	if n := len(ep.opFree); n > 0 {
+		op := ep.opFree[n-1]
+		ep.opFree[n-1] = nil
+		ep.opFree = ep.opFree[:n-1]
+		return op
+	}
+	op := &dmaOp{ep: ep}
+	op.writeRun = op.runWrite
+	op.readRun = op.runRead
+	return op
+}
+
+// release returns the record to the free list.
+func (op *dmaOp) release() {
+	op.buf = nil
+	op.done = nil
+	op.ep.opFree = append(op.ep.opFree, op)
+}
+
+// runWrite is a DMA write's second stage: the last byte cleared the
+// uplink; land it per the memory system's DDIO rules and fire done once
+// the write is globally observable.
+func (op *dmaOp) runWrite() {
+	ep := op.ep
+	lat := ep.fabric.mem.DeviceWrite(ep.node, op.buf, op.n) + ep.extraLatency
+	done := op.done
+	op.release()
+	if done == nil {
+		return
+	}
+	ep.fabric.eng.After(lat, done)
+}
+
+// runRead is a DMA read's second stage: the memory system supplied the
+// data; serialize it on the downlink.
+func (op *dmaOp) runRead() {
+	ep := op.ep
+	n, done := op.n, op.done
+	op.release()
+	ep.toDevice.Transfer(n, done)
 }
 
 // Fabric is the server's PCIe fabric.
@@ -156,13 +220,9 @@ func (ep *Endpoint) Bandwidth() float64 { return LinkBandwidth(ep.gen, ep.lanes)
 // write is globally observable.
 func (ep *Endpoint) DMAWrite(b *memsys.Buffer, n int64, done func()) {
 	ep.dmaWriteBytes += float64(n)
-	ep.toHost.Transfer(n, func() {
-		lat := ep.fabric.mem.DeviceWrite(ep.node, b, n) + ep.extraLatency
-		if done == nil {
-			return
-		}
-		ep.fabric.eng.After(lat, done)
-	})
+	op := ep.getOp()
+	op.buf, op.n, op.done = b, n, done
+	ep.toHost.Transfer(n, op.writeRun)
 }
 
 // DMARead moves n bytes from the buffer into the device (packet
@@ -172,9 +232,9 @@ func (ep *Endpoint) DMAWrite(b *memsys.Buffer, n int64, done func()) {
 func (ep *Endpoint) DMARead(b *memsys.Buffer, n int64, done func()) {
 	ep.dmaReadBytes += float64(n)
 	lat := ep.fabric.mem.DeviceRead(ep.node, b, n) + ep.extraLatency
-	ep.fabric.eng.After(lat, func() {
-		ep.toDevice.Transfer(n, done)
-	})
+	op := ep.getOp()
+	op.n, op.done = n, done
+	ep.fabric.eng.After(lat, op.readRun)
 }
 
 // MMIOWrite models a core on fromNode posting a doorbell write to the

@@ -76,26 +76,30 @@ func StartPktgen(cl *core.Cluster, dev RawTxDevice, cfg PktgenConfig) *Pktgen {
 		sig := sim.NewSignal(cl.Eng)
 		flow := eth.FiveTuple{SrcIP: core.IPServerPF0, DstIP: core.IPClient, SrcPort: 9, DstPort: 9, Proto: eth.ProtoUDP}
 		txq := dev.TxQueueForCore(cfg.Core)
+		// pktgen clones the same skb every burst: build the packet and
+		// its completion callback once and hand the driver the same
+		// scratch object (RawTx copies before returning).
+		pkt := &netstack.Packet{
+			Flow:        flow,
+			DstMAC:      cl.ClientDev.HWAddr(),
+			Payload:     cfg.PktSize * int64(cfg.Batch),
+			Packets:     cfg.Batch,
+			Descriptors: cfg.Batch,
+			Frags:       []netstack.Frag{{Buf: payload, Bytes: cfg.PktSize * int64(cfg.Batch)}},
+			Proto:       eth.ProtoUDP,
+		}
+		pkt.OnSent = func() {
+			outstanding--
+			w.sent += uint64(cfg.Batch)
+			sig.Broadcast()
+		}
 		for {
 			for outstanding >= cfg.MaxOutstanding {
 				th.Wait(sig)
 			}
 			outstanding++
 			th.Exec(time.Duration(cfg.Batch) * cfg.PerPacketCost)
-			dev.RawTx(th, &netstack.Packet{
-				Flow:        flow,
-				DstMAC:      cl.ClientDev.HWAddr(),
-				Payload:     cfg.PktSize * int64(cfg.Batch),
-				Packets:     cfg.Batch,
-				Descriptors: cfg.Batch,
-				Frags:       []netstack.Frag{{Buf: payload, Bytes: cfg.PktSize * int64(cfg.Batch)}},
-				Proto:       eth.ProtoUDP,
-				OnSent: func() {
-					outstanding--
-					w.sent += uint64(cfg.Batch)
-					sig.Broadcast()
-				},
-			}, txq)
+			dev.RawTx(th, pkt, txq)
 		}
 	})
 	return w

@@ -19,3 +19,19 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/ioctobench -fig fig2 -quick -json "$tmp/report.json" > "$tmp/report.txt"
 test -s "$tmp/report.json"
+
+# Bench gate: the packet-path benchmarks must stay within the allocs/op
+# thresholds recorded in BENCH_sim.json (the "gate" section).
+evr_max="$(sed -n 's/.*"BenchmarkSimulatorEventRate_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
+pp_max="$(sed -n 's/.*"BenchmarkPacketPath_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
+test -n "$evr_max" && test -n "$pp_max"
+go test -run '^$' -bench 'BenchmarkPacketPath$|BenchmarkSimulatorEventRate' -benchtime 10x -benchmem . | tee "$tmp/bench.txt"
+awk -v evr_max="$evr_max" -v pp_max="$pp_max" '
+  /^BenchmarkSimulatorEventRate/ { seen_evr = 1; a = $(NF-1) + 0
+    if (a > evr_max) { printf "bench gate: SimulatorEventRate %d allocs/op > %d\n", a, evr_max; bad = 1 } }
+  /^BenchmarkPacketPath/ { seen_pp = 1; a = $(NF-1) + 0
+    if (a > pp_max) { printf "bench gate: PacketPath %d allocs/op > %d\n", a, pp_max; bad = 1 } }
+  END {
+    if (!seen_evr || !seen_pp) { print "bench gate: benchmark output missing"; bad = 1 }
+    exit bad
+  }' "$tmp/bench.txt"
