@@ -52,6 +52,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: ioctobench -fig <id>|all [-quick] [-parallel N] [-o file]; -list for ids")
 		os.Exit(2)
 	}
+	// Validate everything up front: a bad flag should fail here with a
+	// clear message, not hours into a run.
+	if *fig != "all" && !ioctopus.HasExperiment(*fig) {
+		fmt.Fprintf(os.Stderr, "ioctobench: unknown experiment %q; -list prints valid ids\n", *fig)
+		os.Exit(2)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "ioctobench: -parallel %d is invalid; need at least 1 simulation in flight\n", *parallel)
+		os.Exit(2)
+	}
 
 	ioctopus.SetParallelism(*parallel)
 

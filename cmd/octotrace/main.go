@@ -6,6 +6,13 @@
 //	octotrace -mode octo   > octo.csv
 //	octotrace -mode standard > eth.csv
 //	octotrace -mode octo -seconds 0.5 -trace octo.trace.json
+//	octotrace -mode octo -kill-pf 0 -kill-at 0.3 -restore-at 0.6 > failover.csv
+//
+// -kill-pf injects a PF link outage (fault injection): the PF's link
+// goes down at -kill-at and comes back at -restore-at (fractions of the
+// run). In octo mode the team driver fails every flow over to the
+// surviving PF and the timeline shows the traffic move; retransmission
+// is enabled so nothing is lost end to end.
 package main
 
 import (
@@ -29,6 +36,9 @@ func main() {
 	migrateFrac := flag.Float64("migrate-at", 0.45, "migration point as a fraction of the run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of pipe activity to this path (open in chrome://tracing or ui.perfetto.dev)")
 	traceLimit := flag.Int("trace-limit", 1<<20, "newest trace records retained (ring buffer); 0 = unbounded")
+	killPF := flag.Int("kill-pf", -1, "inject a link outage on this PF index (-1 = none)")
+	killFrac := flag.Float64("kill-at", 0.3, "link-down point as a fraction of the run")
+	restoreFrac := flag.Float64("restore-at", 0.6, "link-up point as a fraction of the run")
 	flag.Parse()
 
 	m := ioctopus.ModeIOctopus
@@ -41,7 +51,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	cl := ioctopus.NewCluster(ioctopus.Config{Mode: m})
+	total := time.Duration(*seconds * float64(time.Second))
+	cfg := ioctopus.Config{Mode: m}
+	if *killPF >= 0 {
+		if *killFrac < 0 || *restoreFrac <= *killFrac || *restoreFrac > 1 {
+			fmt.Fprintf(os.Stderr, "need 0 <= -kill-at < -restore-at <= 1 (got %v, %v)\n", *killFrac, *restoreFrac)
+			os.Exit(2)
+		}
+		// Retransmission keeps the stream alive across the outage.
+		sp := ioctopus.DefaultStackParams()
+		sp.RetxTimeout = 2 * time.Millisecond
+		cfg.StackParams = &sp
+		cfg.FaultPlan = &ioctopus.FaultPlan{Events: []ioctopus.FaultEvent{{
+			At:       time.Duration(float64(total) * *killFrac),
+			Kind:     ioctopus.FaultLinkFlap,
+			PF:       *killPF,
+			Duration: time.Duration(float64(total) * (*restoreFrac - *killFrac)),
+		}}}
+	}
+	cl, err := ioctopus.NewClusterE(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	defer cl.Drain()
 
 	var tracer *sim.Tracer
@@ -76,12 +108,21 @@ func main() {
 	pf1 := sampler.TrackRate("pf1", func() float64 { return cl.Server.NIC.PF(1).RxBytes() * 8 / 1e9 })
 	sampler.Start()
 
-	total := time.Duration(*seconds * float64(time.Second))
 	migrateAt := time.Duration(float64(total) * *migrateFrac)
 	cl.Run(migrateAt)
 	cl.Server.Kernel.SetAffinity(serverThread, cl.Server.Topo.CoresOn(1)[0].ID)
 	fmt.Fprintf(os.Stderr, "migrated netserver to socket 1 at t=%.2fs\n", migrateAt.Seconds())
 	cl.Run(total - migrateAt)
+	if *killPF >= 0 {
+		fmt.Fprintf(os.Stderr, "pf%d link outage [%.2fs, %.2fs]: %d link transitions",
+			*killPF, float64(total.Seconds())**killFrac, float64(total.Seconds())**restoreFrac,
+			cl.Faults.LinkTransitions())
+		if cl.Octo != nil {
+			fmt.Fprintf(os.Stderr, "; failovers=%d failbacks=%d reposted=%d",
+				cl.Octo.Failovers(), cl.Octo.Failbacks(), cl.Octo.Reposted())
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	fmt.Println("time_s,pf0_gbps,pf1_gbps")
 	for i := range pf0.Values {

@@ -13,6 +13,7 @@ import (
 
 	"ioctopus/internal/driver"
 	"ioctopus/internal/eth"
+	"ioctopus/internal/faults"
 	"ioctopus/internal/interconnect"
 	"ioctopus/internal/kernel"
 	"ioctopus/internal/memsys"
@@ -79,6 +80,13 @@ type Config struct {
 	// DriverParams overrides the server drivers' defaults (the §2.4
 	// remote-DDIO measurement homes completion rings on the NIC node).
 	DriverParams *driver.Params
+	// StackParams overrides both hosts' netstack defaults (the chaos
+	// experiment enables retransmission via RetxTimeout/RetxMaxTries).
+	StackParams *netstack.Params
+	// FaultPlan, when non-nil, is armed against the assembled cluster;
+	// its events fire relative to simulated time zero. A nil plan arms
+	// nothing and leaves every fault hook at its zero-cost default.
+	FaultPlan *faults.Plan
 	// Seed drives all randomized workload behaviour.
 	Seed int64
 }
@@ -115,6 +123,9 @@ type Cluster struct {
 
 	Wire *eth.Wire
 
+	// Faults is the armed injector when Config.FaultPlan was set.
+	Faults *faults.Injector
+
 	// Reg is the cluster-wide metrics registry: every subsystem of both
 	// hosts registers its probes here during assembly, namespaced as
 	// "<host>/<subsystem>/..." ("server/nic/pf0/rx_bytes",
@@ -125,14 +136,14 @@ type Cluster struct {
 }
 
 // buildHost assembles kernel+memory+pcie+stack for one machine.
-func buildHost(e *sim.Engine, net *netstack.Network, name string, topo *topology.Server, ddio bool) *Host {
+func buildHost(e *sim.Engine, net *netstack.Network, name string, topo *topology.Server, ddio bool, stackParams netstack.Params) *Host {
 	fab := interconnect.New(e, topo)
 	memParams := memsys.DefaultParams()
 	memParams.DDIO = ddio
 	mem := memsys.New(e, topo, fab, memParams)
 	pc := pcie.New(e, mem, pcie.DefaultParams())
 	k := kernel.New(e, topo, mem, kernel.DefaultParams())
-	st := netstack.NewStack(k, name, net, netstack.DefaultParams())
+	st := netstack.NewStack(k, name, net, stackParams)
 	return &Host{
 		Name:   name,
 		Topo:   topo,
@@ -144,10 +155,8 @@ func buildHost(e *sim.Engine, net *netstack.Network, name string, topo *topology
 	}
 }
 
-// NewCluster builds the full testbed per the config.
-func NewCluster(cfg Config) *Cluster {
-	e := sim.NewEngine()
-	net := netstack.NewNetwork()
+// normalize fills a config's defaulted fields in place.
+func (cfg *Config) normalize() {
 	if cfg.ServerTopo == nil {
 		cfg.ServerTopo = topology.DualBroadwell()
 	}
@@ -157,6 +166,78 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Wiring == pcie.WiringDirect {
 		cfg.Wiring = pcie.WiringBifurcated
 	}
+}
+
+// ValidateConfig rejects cluster configs that would assemble a broken
+// machine — a PF with zero queues, a card wired to a socket the
+// topology doesn't have, a lane budget that bifurcates to nothing —
+// with an error naming the problem instead of a panic from deep inside
+// a substrate package.
+func ValidateConfig(cfg Config) error {
+	cfg.normalize()
+	for _, tp := range []struct {
+		name string
+		topo *topology.Server
+	}{{"server", cfg.ServerTopo}, {"client", cfg.ClientTopo}} {
+		if tp.topo.NumNodes() <= 0 {
+			return fmt.Errorf("core: %s topology has no NUMA nodes", tp.name)
+		}
+		if tp.topo.NumCores() <= 0 {
+			return fmt.Errorf("core: %s topology has no cores", tp.name)
+		}
+		for n := 0; n < tp.topo.NumNodes(); n++ {
+			if len(tp.topo.CoresOn(topology.NodeID(n))) == 0 {
+				// Queue pairs are per-core on the PF local to the core's
+				// node; a core-less socket would leave its PF with zero
+				// queues and nothing to drain its rings.
+				return fmt.Errorf("core: %s node %d has no cores (its PF would have zero queues)", tp.name, n)
+			}
+		}
+	}
+	switch cfg.Wiring {
+	case pcie.WiringBifurcated, pcie.WiringRiser:
+		if 16/cfg.ServerTopo.NumNodes() == 0 {
+			return fmt.Errorf("core: cannot bifurcate a x16 card across %d sockets (zero lanes per PF)", cfg.ServerTopo.NumNodes())
+		}
+	case pcie.WiringExtender, pcie.WiringSwitch:
+		// Full-width endpoints per socket: always feasible.
+	default:
+		return fmt.Errorf("core: unknown PCIe wiring %v", cfg.Wiring)
+	}
+	switch cfg.Mode {
+	case ModeStandard, ModeIOctopus:
+	default:
+		return fmt.Errorf("core: unknown NIC mode %v", cfg.Mode)
+	}
+	if cfg.DriverParams != nil {
+		if n := cfg.DriverParams.CompRingNode; n != topology.NoNode && (int(n) < 0 || int(n) >= cfg.ServerTopo.NumNodes()) {
+			return fmt.Errorf("core: completion rings homed on node %d but the server has %d nodes", n, cfg.ServerTopo.NumNodes())
+		}
+	}
+	return nil
+}
+
+// NewCluster builds the full testbed per the config, panicking on an
+// invalid one (the historical behaviour; experiment code builds from
+// vetted configs). Callers assembling from external input should use
+// NewClusterE.
+func NewCluster(cfg Config) *Cluster {
+	cl, err := NewClusterE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// NewClusterE builds the full testbed per the config, returning an
+// error for invalid topologies or fault plans.
+func NewClusterE(cfg Config) (*Cluster, error) {
+	if err := ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine()
+	net := netstack.NewNetwork()
+	cfg.normalize()
 
 	cl := &Cluster{
 		Eng:  e,
@@ -164,8 +245,12 @@ func NewCluster(cfg Config) *Cluster {
 		Mode: cfg.Mode,
 		RNG:  sim.NewRNG(cfg.Seed + 1),
 	}
-	cl.Server = buildHost(e, net, "server", cfg.ServerTopo, !cfg.DisableDDIO)
-	cl.Client = buildHost(e, net, "client", cfg.ClientTopo, !cfg.DisableDDIO)
+	stackParams := netstack.DefaultParams()
+	if cfg.StackParams != nil {
+		stackParams = *cfg.StackParams
+	}
+	cl.Server = buildHost(e, net, "server", cfg.ServerTopo, !cfg.DisableDDIO, stackParams)
+	cl.Client = buildHost(e, net, "client", cfg.ClientTopo, !cfg.DisableDDIO, stackParams)
 
 	nicParams := nic.DefaultParams()
 	if cfg.DisableCoalescing {
@@ -229,8 +314,26 @@ func NewCluster(cfg Config) *Cluster {
 		cl.Server.Stack.AddDevice(od, IPServerPF0)
 		cl.Dev0 = od
 		cl.Octo = od
-	default:
-		panic(fmt.Sprintf("core: unknown mode %v", cfg.Mode))
+	}
+
+	// Fault injection: armed against the fully cabled system so link,
+	// wire, fabric and core faults all have live targets. With no plan
+	// nothing is installed and the datapath keeps its no-fault fast
+	// paths (nil filters, link-up flags).
+	if cfg.FaultPlan != nil {
+		inj, err := faults.Arm(cfg.FaultPlan, faults.Targets{
+			Engine:     e,
+			NIC:        cl.Server.NIC,
+			Wire:       cl.Wire,
+			ServerPort: cl.Server.NIC,
+			ClientPort: cl.Client.NIC,
+			Fabric:     cl.Server.Fabric,
+			Kernel:     cl.Server.Kernel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.Faults = inj
 	}
 
 	// Observability: registration happens last, after the drivers have
@@ -241,7 +344,10 @@ func NewCluster(cfg Config) *Cluster {
 	metrics.RegisterEngine(cl.Reg.Scope("engine"), e)
 	cl.Server.registerMetrics(cl.Reg.Scope("server"))
 	cl.Client.registerMetrics(cl.Reg.Scope("client"))
-	return cl
+	if cl.Faults != nil {
+		cl.Faults.RegisterMetrics(cl.Reg.Scope("faults"))
+	}
+	return cl, nil
 }
 
 // registerMetrics wires one host's subsystems into the cluster registry.
@@ -249,6 +355,7 @@ func (h *Host) registerMetrics(r metrics.Registrar) {
 	h.Mem.RegisterMetrics(r.Scope("mem"))
 	h.Fabric.RegisterMetrics(r.Scope("fabric"))
 	h.Kernel.RegisterMetrics(r.Scope("kernel"))
+	h.Stack.RegisterMetrics(r.Scope("stack"))
 	if h.NIC != nil {
 		h.NIC.RegisterMetrics(r.Scope("nic"))
 	}

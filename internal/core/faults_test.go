@@ -1,0 +1,268 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ioctopus/internal/driver"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/faults"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/topology"
+)
+
+func TestValidateConfigRejectsBrokenMachines(t *testing.T) {
+	corelessNode := topology.DualBroadwell()
+	corelessNode.Sockets[1].Cores = nil
+	noCores := topology.DualBroadwell()
+	for _, sk := range noCores.Sockets {
+		sk.Cores = nil
+	}
+	// More sockets than a x16 card can bifurcate across.
+	many := &topology.Server{Name: "many-sockets"}
+	for i := 0; i < 17; i++ {
+		many.Sockets = append(many.Sockets, &topology.Socket{
+			ID:    topology.NodeID(i),
+			Cores: []*topology.Core{{ID: topology.CoreID(i), Node: topology.NodeID(i), FreqGHz: 2}},
+		})
+	}
+	badRings := driver.DefaultParams()
+	badRings.CompRingNode = 5
+
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"core-less server node", Config{ServerTopo: corelessNode}, "has no cores"},
+		{"core-less client node", Config{ClientTopo: corelessNode}, "has no cores"},
+		{"no cores at all", Config{ServerTopo: noCores}, "no cores"},
+		{"over-bifurcated card", Config{ServerTopo: many}, "cannot bifurcate"},
+		{"unknown wiring", Config{Wiring: pcie.Wiring(42)}, "unknown PCIe wiring"},
+		{"unknown mode", Config{Mode: NICMode(9)}, "unknown NIC mode"},
+		{"completion ring off-machine", Config{DriverParams: &badRings}, "5"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateConfig(c.cfg)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("ValidateConfig = %v, want mention of %q", err, c.want)
+			}
+			if _, err := NewClusterE(c.cfg); err == nil {
+				t.Fatal("NewClusterE accepted the config ValidateConfig rejected")
+			}
+		})
+	}
+}
+
+func TestNewClusterERejectsBadFaultPlan(t *testing.T) {
+	cfg := Config{FaultPlan: &faults.Plan{Events: []faults.Event{
+		{Kind: faults.Loss, Prob: 2, Duration: time.Millisecond},
+	}}}
+	if _, err := NewClusterE(cfg); err == nil || !strings.Contains(err.Error(), "out of [0,1]") {
+		t.Fatalf("NewClusterE = %v, want probability error", err)
+	}
+}
+
+func TestNewClusterPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCluster should keep the historical panic behaviour")
+		}
+	}()
+	NewCluster(Config{Mode: NICMode(9)})
+}
+
+// TestEmptyFaultPlanIsByteIdentical is the no-fault regression gate:
+// arming an empty plan must leave the simulation bit-for-bit identical
+// to a build with no plan at all — same delivered bytes, same value for
+// every registry probe. This is what keeps the fault hooks zero-cost on
+// the no-fault path.
+func TestEmptyFaultPlanIsByteIdentical(t *testing.T) {
+	run := func(plan *faults.Plan) (int64, map[string]float64) {
+		got, cl := runStream(t, Config{Mode: ModeIOctopus, FaultPlan: plan}, 0, IPServerPF0, 64*1024, 10*time.Millisecond)
+		vals := make(map[string]float64)
+		for _, s := range cl.Reg.Snapshot() {
+			if strings.HasPrefix(s.Name, "faults/") {
+				continue // the injector's own (all-zero) counters
+			}
+			vals[s.Name] = s.Value
+		}
+		return got, vals
+	}
+	gotNil, snapNil := run(nil)
+	gotEmpty, snapEmpty := run(&faults.Plan{Seed: 123})
+	if gotNil != gotEmpty {
+		t.Fatalf("delivered bytes diverged: nil plan %d, empty plan %d", gotNil, gotEmpty)
+	}
+	if len(snapNil) != len(snapEmpty) {
+		t.Fatalf("registry shape diverged: %d vs %d probes", len(snapNil), len(snapEmpty))
+	}
+	for name, v := range snapNil {
+		if ev, ok := snapEmpty[name]; !ok || ev != v {
+			t.Errorf("%s: nil plan %v, empty plan %v", name, v, ev)
+		}
+	}
+}
+
+// runFaultStream is runStream plus a sent-bytes count, for end-to-end
+// loss accounting under injected faults.
+func runFaultStream(t *testing.T, cfg Config, dur time.Duration) (sent, received int64, cl *Cluster) {
+	t.Helper()
+	cl = NewCluster(cfg)
+	cl.Server.Stack.Listen(7, func(s *netstack.Socket) {
+		cl.Server.Kernel.Spawn("netserver", 0, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				n, _, ok := s.Recv(th)
+				if !ok {
+					return
+				}
+				received += n
+			}
+		})
+	})
+	cl.Client.Kernel.Spawn("netperf", 0, func(th *kernel.Thread) {
+		sock, err := cl.Client.Stack.Dial(th, IPServerPF0, 7, eth.ProtoTCP)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for {
+			sock.Send(th, 64*1024)
+			sent += 64 * 1024
+		}
+	})
+	cl.Run(dur)
+	cl.Drain()
+	return sent, received, cl
+}
+
+// retxParams enables the retransmission timer the recovery tests need.
+func retxParams() *netstack.Params {
+	sp := netstack.DefaultParams()
+	sp.RetxTimeout = 2 * time.Millisecond
+	sp.RetxMaxTries = 12
+	return &sp
+}
+
+func TestPFFailoverKeepsStreamAlive(t *testing.T) {
+	sp := retxParams()
+	cfg := Config{
+		Mode:        ModeIOctopus,
+		StackParams: sp,
+		FaultPlan: &faults.Plan{Events: []faults.Event{
+			{At: 10 * time.Millisecond, Kind: faults.LinkFlap, PF: 0, Duration: 10 * time.Millisecond},
+		}},
+	}
+	sent, received, cl := runFaultStream(t, cfg, 40*time.Millisecond)
+	if cl.Faults.LinkTransitions() != 2 {
+		t.Fatalf("link transitions = %d, want 2", cl.Faults.LinkTransitions())
+	}
+	if cl.Octo.Failovers() < 1 || cl.Octo.Failbacks() < 1 {
+		t.Fatalf("failovers = %d, failbacks = %d, want >= 1 each", cl.Octo.Failovers(), cl.Octo.Failbacks())
+	}
+	// Traffic really hit the dead link before the driver re-steered.
+	drops := cl.Server.NIC.PF(0).RxLinkDrops() + cl.Server.NIC.PF(0).TxLinkDrops()
+	if drops == 0 {
+		t.Fatal("nothing died at the downed PF; the fault did not bite")
+	}
+	// Everything dropped was recovered: the sender may only be ahead by
+	// in-flight/buffered data, and nothing was abandoned.
+	bound := sp.SendWindow + sp.RxBufBytes
+	if gap := sent - received; gap > bound {
+		t.Fatalf("lost data across failover: gap %d > bound %d", gap, bound)
+	}
+	abandoned := cl.Client.Stack.RetxAbandoned() + cl.Server.Stack.RetxAbandoned()
+	if abandoned != 0 {
+		t.Fatalf("abandoned %d segments", abandoned)
+	}
+	// Failover telemetry is wired into the cluster registry.
+	if v, ok := cl.Reg.Value("server/driver/octo0/failover/failovers"); !ok || v != float64(cl.Octo.Failovers()) {
+		t.Fatalf("registry failover counter = %v (ok=%v)", v, ok)
+	}
+	if v, ok := cl.Reg.Value("faults/link_transitions"); !ok || v != 2 {
+		t.Fatalf("registry faults counter = %v (ok=%v)", v, ok)
+	}
+}
+
+func TestWireLossRecoveredByRetransmission(t *testing.T) {
+	cfg := Config{
+		Mode:        ModeIOctopus,
+		StackParams: retxParams(),
+		FaultPlan: &faults.Plan{
+			Seed: 7,
+			Events: []faults.Event{
+				{At: 5 * time.Millisecond, Kind: faults.Loss, Dir: faults.ClientToServer, Prob: 0.05, Duration: 10 * time.Millisecond},
+			},
+		},
+	}
+	sent, received, cl := runFaultStream(t, cfg, 30*time.Millisecond)
+	if cl.Faults.LossDrops() == 0 {
+		t.Fatal("loss window dropped nothing")
+	}
+	retx := cl.Client.Stack.RetxRetransmits()
+	if retx == 0 {
+		t.Fatal("drops happened but nothing was retransmitted")
+	}
+	sp := retxParams()
+	if gap := sent - received; gap > sp.SendWindow+sp.RxBufBytes {
+		t.Fatalf("retransmission failed to recover: gap %d", gap)
+	}
+	if ab := cl.Client.Stack.RetxAbandoned(); ab != 0 {
+		t.Fatalf("abandoned %d segments at 5%% loss", ab)
+	}
+}
+
+// TestRxDropsRecycledUnderPooling floods a tiny UDP receive buffer so
+// the stack exercises its drop paths with pooled packets: every dropped
+// segment must be recycled exactly once (a double recycle panics the
+// run) and, once the receiver drains, the Rx pool's live-lease gauge
+// must return to zero — no leaks on the drop path.
+func TestRxDropsRecycledUnderPooling(t *testing.T) {
+	sp := netstack.DefaultParams()
+	sp.RxBufBytes = 64 * 1024
+	cl := NewCluster(Config{Mode: ModeIOctopus, StackParams: &sp})
+	var srv *netstack.Socket
+	cl.Server.Stack.Listen(7, func(s *netstack.Socket) { srv = s })
+	cl.Client.Kernel.Spawn("flood", 0, func(th *kernel.Thread) {
+		sock, err := cl.Client.Stack.Dial(th, IPServerPF0, 7, eth.ProtoUDP)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		// No receiver is consuming: most of this overflows the 64KB
+		// socket buffer and is dropped by the stack.
+		for i := 0; i < 400; i++ {
+			sock.Send(th, 16*1024)
+		}
+	})
+	cl.Run(20 * time.Millisecond)
+	if cl.Server.Stack.RxDrops() == 0 {
+		t.Fatal("flood did not overflow the receive buffer")
+	}
+	// Drain the survivors, then check the pool.
+	cl.Server.Kernel.Spawn("drain", 0, func(th *kernel.Thread) {
+		srv.SetOwner(th)
+		for {
+			if _, _, ok := srv.Recv(th); !ok {
+				return
+			}
+		}
+	})
+	cl.Run(20 * time.Millisecond)
+	live, ok := cl.Reg.Value("server/nic/pool/rx/live")
+	if !ok {
+		t.Fatal("pool/rx/live not registered")
+	}
+	if live != 0 {
+		t.Fatalf("pool/rx live = %v after drain, want 0 (leaked leases)", live)
+	}
+	if rec, _ := cl.Reg.Value("server/nic/pool/rx/recycled"); rec == 0 {
+		t.Fatal("nothing was recycled; the drop path bypassed the pool")
+	}
+	cl.Drain()
+}

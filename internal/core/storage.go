@@ -51,7 +51,7 @@ func NewStorageRig(cfg StorageConfig) *StorageRig {
 	}
 	e := sim.NewEngine()
 	net := netstack.NewNetwork()
-	h := buildHost(e, net, "storage-server", cfg.Topo, true)
+	h := buildHost(e, net, "storage-server", cfg.Topo, true, netstack.DefaultParams())
 	rig := &StorageRig{Eng: e, Host: h, RNG: sim.NewRNG(cfg.Seed + 7)}
 	for i := 0; i < cfg.Drives; i++ {
 		name := fmt.Sprintf("nvme%d", i)

@@ -38,6 +38,10 @@ type Params struct {
 	// ExpiryScanPeriod is how often the scanner thread looks.
 	RuleExpiry       time.Duration
 	ExpiryScanPeriod time.Duration
+	// LinkEventDelay is how long after a PHY carrier change the driver's
+	// link-state handler runs (interrupt + workqueue latency). Zero
+	// means synchronous delivery.
+	LinkEventDelay time.Duration
 	// CompRingNode overrides where completion rings are homed
 	// (topology.NoNode = each queue's core node, the default). §2.4's
 	// remote-DDIO measurement allocates response rings local to the
@@ -56,6 +60,7 @@ func DefaultParams() Params {
 		MPFSUpdateCPU:    500 * time.Nanosecond,
 		RuleExpiry:       30 * time.Second,
 		ExpiryScanPeriod: time.Second,
+		LinkEventDelay:   time.Millisecond,
 	}
 }
 
@@ -85,6 +90,13 @@ type base struct {
 	// most one ExecFn in flight, so its scratch record is stable from
 	// submission until the cost callback runs.
 	scratch map[*kernel.Thread]*xmitScratch
+
+	// repost, when set (octo failover), is offered Tx completions that
+	// came back flagged Dropped (transmitted into a dead link) before
+	// they are recycled; returning true means the driver took ownership
+	// (re-posted on a surviving queue, or parked awaiting one) and the
+	// packet must not be recycled or reported sent.
+	repost func(qp *queuePair, pkt *nic.TxPacket) bool
 }
 
 // xmitScratch is one thread's cached transmit-cost state: the cost
@@ -213,6 +225,11 @@ func (b *base) napiTx(qp *queuePair) time.Duration {
 	var cost time.Duration
 	for _, pkt := range qp.tx.Reap(b.params.NAPIBudget) {
 		cost += qp.tx.CompletionRing().HostRead(qp.node, pkt.Packets)
+		if pkt.Dropped && b.repost != nil && b.repost(qp, pkt) {
+			// Re-posted on a surviving PF: ownership went back to the
+			// device; OnSent fires when the re-send's completion reaps.
+			continue
+		}
 		cost += time.Duration(pkt.Packets) * b.params.TxFreePerPacket
 		if pkt.OnSent != nil {
 			pkt.OnSent()
@@ -244,6 +261,7 @@ func (b *base) xmit(t *kernel.Thread, pkt *netstack.Packet, txq int) {
 	txPkt.Descriptors = descs
 	txPkt.Flow = pkt.Flow
 	txPkt.Dst = pkt.DstMAC
+	txPkt.Seq = pkt.Seq
 	txPkt.Meta = pkt.Meta
 	txPkt.OnSent = pkt.OnSent
 	// The leased packet keeps its fragment backing array across

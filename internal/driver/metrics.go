@@ -34,4 +34,15 @@ func (d *Octo) RegisterMetrics(r metrics.Registrar) {
 	sc.Counter("updates_applied", func() float64 { return float64(d.updatesApplied) })
 	sc.Counter("rules_expired", func() float64 { return float64(d.rulesExpired) })
 	sc.Gauge("rule_count", func() float64 { return float64(len(d.rules)) })
+	fo := r.Scope("failover")
+	fo.Counter("failovers", func() float64 { return float64(d.failovers) })
+	fo.Counter("failbacks", func() float64 { return float64(d.failbacks) })
+	fo.Counter("reposted", func() float64 { return float64(d.reposted) })
+	fo.Counter("rules_resteered", func() float64 { return float64(d.rulesResteered) })
+	fo.Gauge("degraded", func() float64 {
+		if d.downPF >= 0 {
+			return 1
+		}
+		return 0
+	})
 }

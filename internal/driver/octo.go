@@ -40,6 +40,33 @@ type Octo struct {
 	updatesPushed  uint64
 	updatesApplied uint64
 	rulesExpired   uint64
+
+	// Failover state (§2.5: "the team driver can migrate every flow to
+	// the surviving PF"). remap[core] is the core whose queue pair
+	// carries core's traffic — itself while every link is up; a core
+	// whose local PF died is remapped to a surviving core, so both XPS
+	// (TxQueueForCore) and re-steered IOctoRFS rules route around the
+	// dead limb. Only single-PF failure is handled; with every PF down
+	// there is nothing to fail over to and losses fall through to
+	// retransmission.
+	remap  []topology.CoreID
+	downPF int // index of the failed PF, -1 while all links are up
+
+	// parked holds Dropped Tx completions reaped before a failover (or
+	// failback) gave them a live queue; the link handler flushes them in
+	// arrival order once the remap lands.
+	parked []parkedTx
+
+	failovers      uint64
+	failbacks      uint64
+	reposted       uint64
+	rulesResteered uint64
+}
+
+// parkedTx is a stranded Tx segment awaiting a live queue.
+type parkedTx struct {
+	qp  *queuePair
+	pkt *nic.TxPacket
 }
 
 type steerUpdate struct {
@@ -49,6 +76,9 @@ type steerUpdate struct {
 
 type steerRule struct {
 	pf, queue int
+	// core is the flow's home core (the ARFS target), kept so failover
+	// can re-steer relative to it and failback can restore it.
+	core      topology.CoreID
 	refreshed sim.Time
 }
 
@@ -82,6 +112,24 @@ func NewOcto(k *kernel.Kernel, mem *memsys.System, n *nic.NIC, name string, para
 	d.buildQueues(mem, func(c topology.CoreID) *nic.PF {
 		return n.PF(d.pfIdx[c])
 	})
+	d.remap = make([]topology.CoreID, topo.NumCores())
+	for c := range d.remap {
+		d.remap[c] = topology.CoreID(c)
+	}
+	d.downPF = -1
+	d.base.repost = d.repostDropped
+	// Carrier changes reach the driver through the link-state interrupt
+	// and a workqueue, not instantaneously: the handler runs
+	// LinkEventDelay after the PHY event. Descriptors posted into the
+	// dead PF during that window complete flagged Dropped and are
+	// re-posted by repostDropped once the remap is in place.
+	n.OnLinkChange(func(pf int, up bool) {
+		if delay := d.base.params.LinkEventDelay; delay > 0 {
+			d.k.Engine().After(delay, func() { d.onLinkChange(pf, up) })
+			return
+		}
+		d.onLinkChange(pf, up)
+	})
 	d.updates = sim.NewQueue[steerUpdate](k.Engine(), 0)
 	d.startWorker()
 	d.startExpiryScanner()
@@ -109,20 +157,155 @@ func (d *Octo) Xmit(t *kernel.Thread, pkt *netstack.Packet, txq int) {
 // pushed through the asynchronous kernel worker (§4.2: "the MPFS table
 // is updated asynchronously by a separate kernel worker thread").
 func (d *Octo) SteerFlow(ft eth.FiveTuple, core topology.CoreID) {
-	pf, queue := d.pfIdx[core], d.rxSlot[core]
+	// During failover the flow's home core may sit on the dead PF;
+	// steer to the remapped core's queue while remembering the home so
+	// failback can restore it.
+	tc := d.remap[core]
+	pf, queue := d.pfIdx[tc], d.rxSlot[tc]
 	now := d.k.Engine().Now()
 	if r, ok := d.rules[ft]; ok {
 		r.refreshed = now
+		r.core = core
 		if r.pf == pf && r.queue == queue {
 			return // already steered correctly; just refreshed
 		}
 		r.pf, r.queue = pf, queue
 	} else {
-		d.rules[ft] = &steerRule{pf: pf, queue: queue, refreshed: now}
+		d.rules[ft] = &steerRule{pf: pf, queue: queue, core: core, refreshed: now}
 	}
 	d.updatesPushed++
 	d.updates.ForcePut(steerUpdate{ft: ft, pf: pf, queue: queue})
 }
+
+// TxQueueForCore implements netstack.NetDevice: normally queue i
+// belongs to core i; while a PF is down, cores local to it transmit
+// through the queue pair of the surviving core they were remapped to.
+func (d *Octo) TxQueueForCore(c topology.CoreID) int { return int(d.remap[c]) }
+
+// onLinkChange is the team driver's failover engine, registered with
+// the device. Link down: remap every core whose local PF died onto
+// surviving cores and re-steer all IOctoRFS rules through the async
+// MPFS worker (recovery latency is the worker's real re-programming
+// cost). Link up: restore the home mapping the same way. Pending Tx
+// descriptors on the dead PF are not touched here — their completions
+// come back flagged Dropped and repostDropped re-posts them on the
+// surviving PF.
+func (d *Octo) onLinkChange(pf int, up bool) {
+	if !up {
+		if d.downPF != -1 {
+			return // single-failure support: ride out the first failure
+		}
+		// Collect surviving cores (deterministic order: core id).
+		var survivors []topology.CoreID
+		for c := range d.pfIdx {
+			if d.pfIdx[c] != pf && d.nic.PF(d.pfIdx[c]).LinkUp() {
+				survivors = append(survivors, topology.CoreID(c))
+			}
+		}
+		if len(survivors) == 0 {
+			return // total outage: nothing to fail over to
+		}
+		d.downPF = pf
+		d.failovers++
+		i := 0
+		for c := range d.remap {
+			if d.pfIdx[c] == pf {
+				d.remap[c] = survivors[i%len(survivors)]
+				i++
+			} else {
+				d.remap[c] = topology.CoreID(c)
+			}
+		}
+		d.resteerAll()
+		d.flushParked()
+		return
+	}
+	if d.downPF != pf {
+		return
+	}
+	d.downPF = -1
+	d.failbacks++
+	for c := range d.remap {
+		d.remap[c] = topology.CoreID(c)
+	}
+	d.resteerAll()
+	d.flushParked()
+}
+
+// flushParked re-posts every parked segment whose remapped queue is now
+// on a live link, preserving arrival order; segments whose target is
+// still dead stay parked for the next transition.
+func (d *Octo) flushParked() {
+	pending := d.parked
+	d.parked = d.parked[:0]
+	for _, p := range pending {
+		if !d.post(p.qp, p.pkt) {
+			d.parked = append(d.parked, p)
+		}
+	}
+}
+
+// post re-posts a recovered segment on the remapped core's queue (after
+// the doorbell flight, as any post); false if that link is down too.
+func (d *Octo) post(qp *queuePair, pkt *nic.TxPacket) bool {
+	nq := d.pairs[d.remap[qp.core]]
+	if !nq.tx.PF().LinkUp() {
+		return false
+	}
+	pkt.Dropped = false
+	d.reposted++
+	flight := nq.tx.PF().Endpoint().MMIOWrite(qp.node)
+	d.k.Engine().After(flight, pkt.DeferPost(nq.tx))
+	return true
+}
+
+// resteerAll re-pushes every installed rule at its (possibly remapped)
+// target, in deterministic 5-tuple order, through the async worker.
+func (d *Octo) resteerAll() {
+	fts := make([]eth.FiveTuple, 0, len(d.rules))
+	for ft := range d.rules {
+		fts = append(fts, ft)
+	}
+	sortTuples(fts)
+	for _, ft := range fts {
+		r := d.rules[ft]
+		tc := d.remap[r.core]
+		pf, queue := d.pfIdx[tc], d.rxSlot[tc]
+		if r.pf == pf && r.queue == queue {
+			continue
+		}
+		r.pf, r.queue = pf, queue
+		d.rulesResteered++
+		d.updatesPushed++
+		d.updates.ForcePut(steerUpdate{ft: ft, pf: pf, queue: queue})
+	}
+}
+
+// repostDropped recovers a Tx segment whose completion came back
+// flagged Dropped: re-post it on the remapped core's queue, or park it
+// until a link transition provides a live one. Always returns true —
+// ownership stays with the driver either way, so napiTx neither
+// recycles the packet nor reports it sent.
+func (d *Octo) repostDropped(qp *queuePair, pkt *nic.TxPacket) bool {
+	if d.post(qp, pkt) {
+		return true
+	}
+	// The remap hasn't landed yet (the carrier event is still in flight
+	// to the handler) or the target is dead too: park the segment; the
+	// next link transition re-posts it. Ownership stays with the driver,
+	// so napiTx must not recycle it.
+	d.parked = append(d.parked, parkedTx{qp: qp, pkt: pkt})
+	return true
+}
+
+// Failovers returns link-down failover transitions performed.
+func (d *Octo) Failovers() uint64 { return d.failovers }
+
+// Failbacks returns link-recovery failback transitions performed.
+func (d *Octo) Failbacks() uint64 { return d.failbacks }
+
+// Reposted returns Tx segments recovered onto a surviving PF.
+func (d *Octo) Reposted() uint64 { return d.reposted }
 
 // UpdatesApplied returns device table writes completed by the worker.
 func (d *Octo) UpdatesApplied() uint64 { return d.updatesApplied }
@@ -192,8 +375,15 @@ func (d *Octo) expiredRules(now sim.Time) []eth.FiveTuple {
 			expired = append(expired, ft)
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool {
-		a, b := expired[i], expired[j]
+	sortTuples(expired)
+	return expired
+}
+
+// sortTuples orders 5-tuples canonically (rule iteration must never
+// inherit map order, which would leak into event ordering).
+func sortTuples(fts []eth.FiveTuple) {
+	sort.Slice(fts, func(i, j int) bool {
+		a, b := fts[i], fts[j]
 		if a.SrcIP != b.SrcIP {
 			return a.SrcIP < b.SrcIP
 		}
@@ -208,5 +398,4 @@ func (d *Octo) expiredRules(now sim.Time) []eth.FiveTuple {
 		}
 		return a.Proto < b.Proto
 	})
-	return expired
 }

@@ -224,6 +224,16 @@ type Port interface {
 	PortMAC() MAC
 }
 
+// FaultFilter inspects a frame about to enter a wire direction and
+// returns true to drop it (simulated loss/corruption — a corrupted
+// frame fails FCS at the receiver and is discarded, which at segment
+// granularity is a drop). Filters run after serialization cost would be
+// paid in reality, but dropping before Transfer keeps the lost frame
+// from occupying wire bandwidth, matching a cut cable more closely than
+// a noisy one; at the loss rates the chaos harness injects the
+// difference is negligible.
+type FaultFilter func(f *Frame) bool
+
 // Wire is a point-to-point full-duplex cable. Each direction is an
 // independent bandwidth pipe.
 type Wire struct {
@@ -231,6 +241,13 @@ type Wire struct {
 	a, b Port
 	ab   *sim.Pipe
 	ba   *sim.Pipe
+
+	// Per-direction fault filters; nil (the default) costs one pointer
+	// compare per Send.
+	abFilter FaultFilter
+	baFilter FaultFilter
+	abDrops  uint64
+	baDrops  uint64
 }
 
 // WireConfig configures a cable.
@@ -257,19 +274,59 @@ func NewWire(e *sim.Engine, cfg WireConfig, a, b Port) *Wire {
 	return &Wire{eng: e, a: a, b: b, ab: mk(":a>b"), ba: mk(":b>a")}
 }
 
+// SetFaultFilter installs (or, with nil, removes) a loss/corruption
+// filter on the direction out of `from`. Fault injection only.
+func (w *Wire) SetFaultFilter(from Port, filt FaultFilter) {
+	switch from {
+	case w.a:
+		w.abFilter = filt
+	case w.b:
+		w.baFilter = filt
+	default:
+		panic("eth: SetFaultFilter from a port not on this wire")
+	}
+}
+
+// FaultDrops returns frames dropped by the filter on the direction out
+// of `from`.
+func (w *Wire) FaultDrops(from Port) uint64 {
+	if from == w.a {
+		return w.abDrops
+	}
+	return w.baDrops
+}
+
+// Pipe exposes the bandwidth pipe of the direction out of `from`
+// (fault injection degrades it; metrics sample it).
+func (w *Wire) Pipe(from Port) *sim.Pipe {
+	if from == w.a {
+		return w.ab
+	}
+	return w.ba
+}
+
 // Send transmits a frame from the given side; it is delivered to the
 // other end after serialization + propagation.
 func (w *Wire) Send(from Port, f *Frame) {
 	f.SentAt = w.eng.Now()
 	var pipe *sim.Pipe
 	var to Port
+	var filt FaultFilter
+	var drops *uint64
 	switch from {
 	case w.a:
 		pipe, to = w.ab, w.b
+		filt, drops = w.abFilter, &w.abDrops
 	case w.b:
 		pipe, to = w.ba, w.a
+		filt, drops = w.baFilter, &w.baDrops
 	default:
 		panic("eth: Send from a port not on this wire")
+	}
+	if filt != nil && filt(f) {
+		*drops++
+		f.Release()
+		return
 	}
 	if f.deliver != nil {
 		// Pooled frame: the cached thunk delivers to rxPort, saving a

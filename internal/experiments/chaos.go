@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/faults"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/sim"
+)
+
+// The chaos run is not a paper figure, so it stays out of IDs() (and
+// therefore out of `-fig all`); it is invoked by name.
+func init() { registerHidden("chaos", runChaos) }
+
+// chaosSeed drives the loss RNG; the whole run is a pure function of it.
+const chaosSeed = 42
+
+// runChaos drives a single netperf-style TCP stream into the octoNIC
+// server while a seeded fault schedule tries to break it:
+//
+//	0.30T  PF0 link down   — the PF serving the flow dies; the octo team
+//	                         driver fails every flow over to PF1 and
+//	                         re-posts the descriptors stranded in PF0's
+//	                         rings.
+//	0.50T  PF0 link up     — the driver fails back.
+//	0.55T  2% loss         — client->server frames drop for 0.10T; the
+//	                         retransmission timer recovers each one.
+//	0.62T  core stall      — the client's send core loses 1ms to an
+//	                         SMI-like event.
+//	0.68T  fabric degrade  — the server's node0->node1 link runs at half
+//	                         bandwidth, double latency for 0.10T.
+//
+// Recovery is judged against the pre-fault steady state: throughput
+// during the PF0 outage (served via PF1) and after failback must both
+// return to >=95%, no segment may be lost end to end, and the whole
+// run must be byte-identical for a fixed seed (scripts/check.sh runs it
+// twice and diffs).
+func runChaos(d Durations) *Result {
+	r := &Result{ID: "chaos", Title: "fault injection: PF failover + retransmission under a seeded schedule"}
+	T := d.Timeline
+
+	sp := netstack.DefaultParams()
+	sp.RetxTimeout = 2 * time.Millisecond
+	sp.RetxMaxTries = 12
+
+	frac := func(pct int) time.Duration { return T * time.Duration(pct) / 100 }
+	plan := &faults.Plan{
+		Seed: chaosSeed,
+		Events: []faults.Event{
+			{At: frac(30), Kind: faults.LinkFlap, PF: 0, Duration: frac(20)},
+			{At: frac(55), Kind: faults.Loss, Dir: faults.ClientToServer, Prob: 0.02, Duration: frac(10)},
+			{At: frac(58), Kind: faults.Burst, Dir: faults.ServerToClient, Duration: frac(2)},
+			{At: frac(62), Kind: faults.Stall, Core: 0, Duration: time.Millisecond},
+			{At: frac(68), Kind: faults.Degrade, From: 0, To: 1, BWFactor: 0.5, LatFactor: 2, Duration: frac(10)},
+		},
+	}
+
+	cl := core.NewCluster(core.Config{
+		Mode:        core.ModeIOctopus,
+		StackParams: &sp,
+		FaultPlan:   plan,
+		Seed:        chaosSeed,
+	})
+	defer cl.Drain()
+
+	var rxBytes int64
+	cl.Server.Stack.Listen(7, func(s *netstack.Socket) {
+		cl.Server.Kernel.Spawn("netserver", 0, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				n, _, ok := s.Recv(th)
+				if !ok {
+					return
+				}
+				rxBytes += n
+			}
+		})
+	})
+	var txBytes int64
+	cl.Client.Kernel.Spawn("netperf", 0, func(th *kernel.Thread) {
+		sock, err := cl.Client.Stack.Dial(th, core.IPServerPF0, 7, eth.ProtoTCP)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			sock.Send(th, 65536)
+			txBytes += 65536
+		}
+	})
+
+	// A reverse stream (server -> client) exercises the Tx side of the
+	// outage: segments the server posts into PF0's rings while the link
+	// is dead complete flagged Dropped and must be re-posted on PF1.
+	var revRx int64
+	cl.Client.Stack.Listen(9, func(s *netstack.Socket) {
+		cl.Client.Kernel.Spawn("revsink", cl.Client.Topo.CoresOn(0)[1].ID, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				n, _, ok := s.Recv(th)
+				if !ok {
+					return
+				}
+				revRx += n
+			}
+		})
+	})
+	var revTx int64
+	cl.Server.Kernel.Spawn("revsrc", cl.Server.Topo.CoresOn(0)[1].ID, func(th *kernel.Thread) {
+		sock, err := cl.Server.Stack.Dial(th, core.IPClient, 9, eth.ProtoTCP)
+		if err != nil {
+			panic(err)
+		}
+		for {
+			sock.Send(th, 65536)
+			revTx += 65536
+		}
+	})
+
+	nicRx := func() float64 {
+		return cl.Server.NIC.PF(0).RxBytes() + cl.Server.NIC.PF(1).RxBytes()
+	}
+	sampler := metrics.NewSampler(cl.Eng, d.SampleEvery)
+	rate := sampler.TrackRate("delivered Gb/s", func() float64 { return float64(rxBytes) * 8 / 1e9 })
+	pf0 := sampler.TrackRate("pf0 Gb/s", func() float64 { return cl.Server.NIC.PF(0).RxBytes() * 8 / 1e9 })
+	pf1 := sampler.TrackRate("pf1 Gb/s", func() float64 { return cl.Server.NIC.PF(1).RxBytes() * 8 / 1e9 })
+	sampler.Start()
+
+	// Windowed rates, each bracketed by engine runs: pre-fault steady
+	// state, mid-outage (PF0 dead, PF1 serving), and post-recovery.
+	var cursor time.Duration
+	advance := func(to time.Duration) {
+		cl.Run(to - cursor)
+		cursor = to
+	}
+	window := func(from, to time.Duration) float64 {
+		advance(from)
+		start := nicRx()
+		advance(to)
+		return (nicRx() - start) * 8 / (to - from).Seconds() / 1e9
+	}
+	preRate := window(frac(10), frac(30))
+	midRate := window(frac(35), frac(48))
+	postRate := window(frac(80), T)
+
+	// Dip depth and recovery time come from the sampled series: the
+	// deepest delivered-rate sample inside the fault region, and the
+	// first sample at/after the failback that is back within 95%.
+	dip := preRate
+	recoverAt := -1.0
+	for i, tm := range rate.Times {
+		v := rate.Values[i]
+		if tm > sim.Time(frac(30)) && tm < sim.Time(frac(80)) && v < dip {
+			dip = v
+		}
+		if recoverAt < 0 && tm >= sim.Time(frac(50)) && v >= 0.95*preRate {
+			recoverAt = tm.Seconds() - frac(50).Seconds()
+		}
+	}
+
+	retx := cl.Client.Stack.RetxRetransmits() + cl.Server.Stack.RetxRetransmits()
+	abandoned := cl.Client.Stack.RetxAbandoned() + cl.Server.Stack.RetxAbandoned()
+	linkDrops := cl.Server.NIC.PF(0).RxLinkDrops() + cl.Server.NIC.PF(0).TxLinkDrops()
+	lost := cl.Faults.TotalWireDrops() + linkDrops
+
+	t := metrics.NewTable("chaos recovery summary",
+		"window", "Gb/s", "vs pre")
+	t.AddRow("pre-fault [0.10T,0.30T)", preRate, 1.0)
+	t.AddRow("PF0 dead, failover [0.35T,0.48T)", midRate, ratio(midRate, preRate))
+	t.AddRow("recovered [0.80T,T)", postRate, ratio(postRate, preRate))
+	r.Tables = append(r.Tables, t)
+
+	ct := metrics.NewTable("fault and recovery counters", "counter", "value")
+	ct.AddRow("faults: link transitions", float64(cl.Faults.LinkTransitions()))
+	ct.AddRow("faults: frames dropped on wire", float64(cl.Faults.TotalWireDrops()))
+	ct.AddRow("nic: frames dropped at dead PF0", float64(linkDrops))
+	ct.AddRow("driver: failovers", float64(cl.Octo.Failovers()))
+	ct.AddRow("driver: failbacks", float64(cl.Octo.Failbacks()))
+	ct.AddRow("driver: descriptors reposted", float64(cl.Octo.Reposted()))
+	ct.AddRow("stack: segments retransmitted", float64(retx))
+	ct.AddRow("stack: duplicate segments discarded", float64(cl.Server.Stack.RetxDuplicates()))
+	ct.AddRow("stack: segments abandoned", float64(abandoned))
+	r.Tables = append(r.Tables, ct)
+
+	r.Series = append(r.Series, rate, pf0, pf1)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("seed %d; deepest delivered-rate sample during faults %.1f Gb/s (%.0f%% of pre)",
+			chaosSeed, dip, 100*ratio(dip, preRate)),
+		fmt.Sprintf("recovery time after failback: %.1f ms (first sample back above 95%% of pre)",
+			recoverAt*1e3),
+		fmt.Sprintf("forward sent %d bytes, delivered %d; reverse sent %d, delivered %d; gaps are in-flight/buffered data",
+			txBytes, rxBytes, revTx, revRx))
+
+	// A flow may hold SendWindow unacked bytes plus RxBufBytes queued at
+	// the receiver awaiting Recv; anything beyond that bound would be a
+	// segment that was truly lost (dropped and never retransmitted).
+	inFlightBound := sp.SendWindow + sp.RxBufBytes
+
+	r.checkTrue("faults actually dropped traffic", lost > 0,
+		fmt.Sprintf("%d frames killed (wire %d, dead PF %d)", lost, cl.Faults.TotalWireDrops(), linkDrops))
+	r.checkTrue("driver failed over and back", cl.Octo.Failovers() >= 1 && cl.Octo.Failbacks() >= 1,
+		fmt.Sprintf("failovers=%d failbacks=%d", cl.Octo.Failovers(), cl.Octo.Failbacks()))
+	r.checkTrue("driver reposted stranded Tx descriptors", cl.Octo.Reposted() >= 1,
+		fmt.Sprintf("reposted=%d", cl.Octo.Reposted()))
+	r.checkTrue("retransmission recovered lost segments", retx >= 1,
+		fmt.Sprintf("retransmits=%d", retx))
+	r.checkTrue("no segment abandoned", abandoned == 0, fmt.Sprintf("abandoned=%d", abandoned))
+	r.checkTrue("zero end-to-end loss forward (gap <= in-flight bound)",
+		txBytes-rxBytes <= inFlightBound,
+		fmt.Sprintf("gap=%d bound=%d", txBytes-rxBytes, inFlightBound))
+	r.checkTrue("zero end-to-end loss reverse (gap <= in-flight bound)",
+		revTx-revRx <= inFlightBound,
+		fmt.Sprintf("gap=%d bound=%d", revTx-revRx, inFlightBound))
+	// The outage can legitimately run FASTER than pre-fault: failover
+	// moves softirq processing to the surviving PF's cores, unloading
+	// the single app core — hence the generous upper bound.
+	r.check("throughput during failover (PF1 serving) vs pre", ratio(midRate, preRate), 0.95, 2.5)
+	r.check("throughput after recovery vs pre", ratio(postRate, preRate), 0.95, 1.10)
+	return r
+}

@@ -134,6 +134,23 @@ func register(id string, fn Runner) {
 	registryOrder = append(registryOrder, id)
 }
 
+// registerHidden registers a runner that is runnable by name but not
+// part of IDs() — so `-fig all` and its committed output never change
+// when a non-figure harness (the chaos run) is added.
+func registerHidden(id string, fn Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = fn
+}
+
+// Has reports whether id names a runnable experiment, including hidden
+// ones (CLI flag validation).
+func Has(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
 // Run executes one experiment by id.
 func Run(id string, d Durations) (*Result, error) {
 	fn, ok := registry[id]

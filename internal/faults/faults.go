@@ -1,0 +1,368 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven schedule of failures armed against an assembled system.
+// The paper's core resilience claim (§2.5) — the octopus device can
+// migrate every flow to the surviving PF when a port dies — is only
+// testable in a world where ports actually die, so this package teaches
+// the simulation to break things on purpose:
+//
+//   - NIC PF link-down, link-up and link-flap (the device keeps its
+//     PCIe side alive, so rings drain while frames die at the port);
+//   - probabilistic, burst, and corruption loss on the Ethernet wire;
+//   - interconnect degradation (bandwidth cut / latency inflation on a
+//     fabric link, applied and restored mid-run);
+//   - core stalls (SMI/thermal events; a long stall is a core gone
+//     offline).
+//
+// Everything is scheduled on the simulation engine from a Plan whose
+// Seed forks the loss RNG, so the same plan against the same cluster
+// produces byte-identical runs. An empty plan arms nothing and leaves
+// every hot path exactly as fast as an un-faulted build: the hooks this
+// package drives are nil/false-checked defaults in their home packages.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/interconnect"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// Kind is a fault type.
+type Kind int
+
+// Fault kinds.
+const (
+	// LinkDown takes a NIC PF's link down at At.
+	LinkDown Kind = iota
+	// LinkUp restores a PF's link at At.
+	LinkUp
+	// LinkFlap takes the link down at At and back up at At+Duration.
+	LinkFlap
+	// Loss drops each frame on a wire direction with probability Prob
+	// during [At, At+Duration).
+	Loss
+	// Burst drops every frame on a wire direction during
+	// [At, At+Duration) (a contiguous loss burst).
+	Burst
+	// Corrupt flips bits with probability Prob during [At, At+Duration);
+	// at segment granularity a corrupted frame fails FCS at the receiver
+	// and is discarded, so it behaves as loss but is counted separately.
+	Corrupt
+	// Degrade scales a fabric link's bandwidth (BWFactor) and base
+	// latency (LatFactor) during [At, At+Duration), restoring the
+	// healthy values at the end.
+	Degrade
+	// Stall occupies a core with non-preemptible busywork for Duration
+	// starting at At; a Duration longer than the run models the core
+	// going offline.
+	Stall
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case LinkFlap:
+		return "link-flap"
+	case Loss:
+		return "loss"
+	case Burst:
+		return "burst"
+	case Corrupt:
+		return "corrupt"
+	case Degrade:
+		return "degrade"
+	case Stall:
+		return "stall"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Dir selects a wire direction for loss faults.
+type Dir int
+
+// Wire directions.
+const (
+	// ClientToServer drops frames the client transmits.
+	ClientToServer Dir = iota
+	// ServerToClient drops frames the server transmits.
+	ServerToClient
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the fault's offset from the instant the plan is armed.
+	At time.Duration
+	// Kind selects the fault; the remaining fields parameterize it.
+	Kind Kind
+	// PF targets a NIC physical function (LinkDown/LinkUp/LinkFlap).
+	PF int
+	// Duration is the fault window (LinkFlap/Loss/Burst/Corrupt/
+	// Degrade/Stall).
+	Duration time.Duration
+	// Prob is the per-frame probability (Loss/Corrupt).
+	Prob float64
+	// Dir is the wire direction (Loss/Burst/Corrupt).
+	Dir Dir
+	// From/To name the fabric link (Degrade).
+	From, To topology.NodeID
+	// BWFactor/LatFactor scale the link (Degrade).
+	BWFactor, LatFactor float64
+	// Core is the stall target (Stall).
+	Core topology.CoreID
+}
+
+// Plan is a seeded fault schedule.
+type Plan struct {
+	// Seed forks the loss RNG; the same seed and events replay
+	// byte-identically.
+	Seed int64
+	// Events fire relative to the arm instant, in any order.
+	Events []Event
+}
+
+// Targets binds a plan to the pieces of an assembled system it acts on.
+type Targets struct {
+	// Engine schedules the fault events.
+	Engine *sim.Engine
+	// NIC is the multi-PF device link faults act on.
+	NIC *nic.NIC
+	// Wire carries the loss faults; ServerPort/ClientPort identify its
+	// two ends (the sending side selects the direction).
+	Wire       *eth.Wire
+	ServerPort eth.Port
+	ClientPort eth.Port
+	// Fabric takes the interconnect degradations.
+	Fabric *interconnect.Fabric
+	// Kernel takes the core stalls.
+	Kernel *kernel.Kernel
+}
+
+// Validate rejects malformed plans up front (probabilities out of
+// range, unknown PFs, degenerate windows) so faults never fire half
+// configured mid-run.
+func (p *Plan) Validate(tg Targets) error {
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative offset %v", i, ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case LinkDown, LinkUp, LinkFlap:
+			if tg.NIC == nil {
+				return fmt.Errorf("faults: event %d (%s): no NIC target", i, ev.Kind)
+			}
+			if ev.PF < 0 || ev.PF >= len(tg.NIC.PFs()) {
+				return fmt.Errorf("faults: event %d (%s): NIC %s has no PF %d", i, ev.Kind, tg.NIC.Name(), ev.PF)
+			}
+			if ev.Kind == LinkFlap && ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (link-flap): needs positive duration", i)
+			}
+		case Loss, Corrupt:
+			if tg.Wire == nil {
+				return fmt.Errorf("faults: event %d (%s): no wire target", i, ev.Kind)
+			}
+			if ev.Prob < 0 || ev.Prob > 1 {
+				return fmt.Errorf("faults: event %d (%s): probability %v out of [0,1]", i, ev.Kind, ev.Prob)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (%s): needs positive duration", i, ev.Kind)
+			}
+		case Burst:
+			if tg.Wire == nil {
+				return fmt.Errorf("faults: event %d (burst): no wire target", i)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (burst): needs positive duration", i)
+			}
+		case Degrade:
+			if tg.Fabric == nil {
+				return fmt.Errorf("faults: event %d (degrade): no fabric target", i)
+			}
+			if ev.From == ev.To {
+				return fmt.Errorf("faults: event %d (degrade): link %d->%d is not a fabric link", i, ev.From, ev.To)
+			}
+			if int(ev.From) < 0 || int(ev.From) >= tg.Fabric.Nodes() || int(ev.To) < 0 || int(ev.To) >= tg.Fabric.Nodes() {
+				return fmt.Errorf("faults: event %d (degrade): link %d->%d outside %d-node fabric", i, ev.From, ev.To, tg.Fabric.Nodes())
+			}
+			if ev.BWFactor <= 0 || ev.LatFactor <= 0 {
+				return fmt.Errorf("faults: event %d (degrade): factors must be positive (bw=%v lat=%v)", i, ev.BWFactor, ev.LatFactor)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (degrade): needs positive duration", i)
+			}
+		case Stall:
+			if tg.Kernel == nil {
+				return fmt.Errorf("faults: event %d (stall): no kernel target", i)
+			}
+			if int(ev.Core) < 0 || int(ev.Core) >= tg.Kernel.NumCores() {
+				return fmt.Errorf("faults: event %d (stall): no core %d", i, ev.Core)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (stall): needs positive duration", i)
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// dirState is one wire direction's active loss configuration, mutated
+// by scheduled window starts/ends and read by the installed filter.
+type dirState struct {
+	inj         *Injector
+	rng         *sim.RNG
+	lossProb    float64
+	corruptProb float64
+	burst       bool
+}
+
+// filter implements eth.FaultFilter for one direction.
+func (ds *dirState) filter(f *eth.Frame) bool {
+	if ds.burst {
+		ds.inj.burstDrops++
+		return true
+	}
+	// Bernoulli(p<=0) returns false without consuming the stream, so a
+	// direction between windows draws nothing and stays in lockstep
+	// with a run whose windows fire at different times.
+	if ds.rng.Bernoulli(ds.lossProb) {
+		ds.inj.lossDrops++
+		return true
+	}
+	if ds.rng.Bernoulli(ds.corruptProb) {
+		ds.inj.corruptDrops++
+		return true
+	}
+	return false
+}
+
+// Injector is an armed plan: the scheduled events plus the counters
+// they bump as they fire.
+type Injector struct {
+	plan *Plan
+	tg   Targets
+
+	c2s, s2c *dirState
+
+	eventsFired     uint64
+	linkTransitions uint64
+	lossDrops       uint64
+	burstDrops      uint64
+	corruptDrops    uint64
+	degrades        uint64
+	stalls          uint64
+}
+
+// Arm validates the plan and schedules every event on the engine,
+// relative to now. Wire filters are installed only for directions the
+// plan actually targets, so an unarmed direction keeps its nil filter
+// (one pointer compare per frame, the no-fault fast path).
+func Arm(plan *Plan, tg Targets) (*Injector, error) {
+	if tg.Engine == nil {
+		return nil, fmt.Errorf("faults: Arm needs an engine")
+	}
+	if err := plan.Validate(tg); err != nil {
+		return nil, err
+	}
+	inj := &Injector{plan: plan, tg: tg}
+	root := sim.NewRNG(plan.Seed)
+	for i := range plan.Events {
+		ev := plan.Events[i] // copy: the closure must not alias the slice
+		switch ev.Kind {
+		case LinkDown:
+			tg.Engine.After(ev.At, func() { inj.setLink(ev.PF, false) })
+		case LinkUp:
+			tg.Engine.After(ev.At, func() { inj.setLink(ev.PF, true) })
+		case LinkFlap:
+			tg.Engine.After(ev.At, func() { inj.setLink(ev.PF, false) })
+			tg.Engine.After(ev.At+ev.Duration, func() { inj.setLink(ev.PF, true) })
+		case Loss:
+			ds := inj.dir(ev.Dir, root)
+			p := ev.Prob
+			tg.Engine.After(ev.At, func() { inj.eventsFired++; ds.lossProb = p })
+			tg.Engine.After(ev.At+ev.Duration, func() { ds.lossProb = 0 })
+		case Corrupt:
+			ds := inj.dir(ev.Dir, root)
+			p := ev.Prob
+			tg.Engine.After(ev.At, func() { inj.eventsFired++; ds.corruptProb = p })
+			tg.Engine.After(ev.At+ev.Duration, func() { ds.corruptProb = 0 })
+		case Burst:
+			ds := inj.dir(ev.Dir, root)
+			tg.Engine.After(ev.At, func() { inj.eventsFired++; ds.burst = true })
+			tg.Engine.After(ev.At+ev.Duration, func() { ds.burst = false })
+		case Degrade:
+			tg.Engine.After(ev.At, func() {
+				inj.eventsFired++
+				inj.degrades++
+				tg.Fabric.Degrade(ev.From, ev.To, ev.BWFactor, ev.LatFactor)
+			})
+			tg.Engine.After(ev.At+ev.Duration, func() {
+				tg.Fabric.Degrade(ev.From, ev.To, 1, 1)
+			})
+		case Stall:
+			tg.Engine.After(ev.At, func() {
+				inj.eventsFired++
+				inj.stalls++
+				tg.Kernel.Core(ev.Core).Stall(ev.Duration)
+			})
+		}
+	}
+	return inj, nil
+}
+
+// setLink flips a PF's link and counts the transition.
+func (inj *Injector) setLink(pf int, up bool) {
+	inj.eventsFired++
+	inj.linkTransitions++
+	inj.tg.NIC.SetPFLink(pf, up)
+}
+
+// dir lazily creates a direction's loss state and installs its wire
+// filter; the RNG fork id is the direction, so the two streams are
+// decorrelated but each is a pure function of the plan seed.
+func (inj *Injector) dir(d Dir, root *sim.RNG) *dirState {
+	switch d {
+	case ClientToServer:
+		if inj.c2s == nil {
+			inj.c2s = &dirState{inj: inj, rng: root.Fork(1)}
+			inj.tg.Wire.SetFaultFilter(inj.tg.ClientPort, inj.c2s.filter)
+		}
+		return inj.c2s
+	default:
+		if inj.s2c == nil {
+			inj.s2c = &dirState{inj: inj, rng: root.Fork(2)}
+			inj.tg.Wire.SetFaultFilter(inj.tg.ServerPort, inj.s2c.filter)
+		}
+		return inj.s2c
+	}
+}
+
+// EventsFired returns fault activations so far.
+func (inj *Injector) EventsFired() uint64 { return inj.eventsFired }
+
+// LossDrops returns frames dropped by probabilistic loss windows.
+func (inj *Injector) LossDrops() uint64 { return inj.lossDrops }
+
+// BurstDrops returns frames dropped by burst windows.
+func (inj *Injector) BurstDrops() uint64 { return inj.burstDrops }
+
+// CorruptDrops returns frames discarded as corrupted.
+func (inj *Injector) CorruptDrops() uint64 { return inj.corruptDrops }
+
+// LinkTransitions returns PF link state flips performed.
+func (inj *Injector) LinkTransitions() uint64 { return inj.linkTransitions }
+
+// TotalWireDrops returns every frame the injector removed from a wire.
+func (inj *Injector) TotalWireDrops() uint64 {
+	return inj.lossDrops + inj.burstDrops + inj.corruptDrops
+}

@@ -1,0 +1,374 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ioctopus/internal/eth"
+	"ioctopus/internal/interconnect"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/memsys"
+	"ioctopus/internal/nic"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+)
+
+// stubPort is a wire endpoint that just records delivered frames.
+type stubPort struct {
+	mac eth.MAC
+	got []*eth.Frame
+}
+
+func (p *stubPort) Receive(f *eth.Frame) { p.got = append(p.got, f) }
+func (p *stubPort) PortMAC() eth.MAC     { return p.mac }
+
+// rig assembles every fault target once: a 2-PF NIC for link faults, a
+// wire between two stub ports for loss faults, a fabric for degradation
+// and a kernel for stalls. Traffic for the wire tests flows between the
+// stubs, so no firmware or queues are needed on the NIC.
+type rig struct {
+	eng    *sim.Engine
+	nic    *nic.NIC
+	wire   *eth.Wire
+	server *stubPort
+	client *stubPort
+	fab    *interconnect.Fabric
+	k      *kernel.Kernel
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	e := sim.NewEngine()
+	topo := topology.DualBroadwell()
+	fab := interconnect.New(e, topo)
+	mem := memsys.New(e, topo, fab, memsys.DefaultParams())
+	pf := pcie.New(e, mem, pcie.DefaultParams())
+	eps := pf.AttachCard(pcie.CardConfig{
+		Name: "cx5", Gen: pcie.Gen3, TotalLanes: 16,
+		Wiring: pcie.WiringBifurcated, Nodes: []topology.NodeID{0, 1},
+	})
+	n := nic.New(e, mem, "cx5", eps, nic.DefaultParams())
+	k := kernel.New(e, topo, mem, kernel.DefaultParams())
+	server := &stubPort{mac: eth.MACFromInt(1)}
+	client := &stubPort{mac: eth.MACFromInt(2)}
+	w := eth.NewWire(e, eth.Wire100G("w"), server, client)
+	return &rig{eng: e, nic: n, wire: w, server: server, client: client, fab: fab, k: k}
+}
+
+func (r *rig) targets() Targets {
+	return Targets{
+		Engine: r.eng, NIC: r.nic,
+		Wire: r.wire, ServerPort: r.server, ClientPort: r.client,
+		Fabric: r.fab, Kernel: r.k,
+	}
+}
+
+// send puts one client->server (or server->client) frame on the wire.
+func (r *rig) send(d Dir, seq uint64) {
+	f := &eth.Frame{Payload: 100, Packets: 1, Seq: seq}
+	if d == ClientToServer {
+		f.Src, f.Dst = r.client.mac, r.server.mac
+		r.wire.Send(r.client, f)
+		return
+	}
+	f.Src, f.Dst = r.server.mac, r.client.mac
+	r.wire.Send(r.server, f)
+}
+
+func TestValidateRejectsMalformedEvents(t *testing.T) {
+	r := newRig(t)
+	ms := time.Millisecond
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"negative offset", Event{At: -ms, Kind: LinkDown}, "negative offset"},
+		{"unknown pf", Event{Kind: LinkDown, PF: 9}, "no PF 9"},
+		{"flap without duration", Event{Kind: LinkFlap}, "positive duration"},
+		{"loss prob above one", Event{Kind: Loss, Prob: 1.5, Duration: ms}, "out of [0,1]"},
+		{"loss prob negative", Event{Kind: Loss, Prob: -0.1, Duration: ms}, "out of [0,1]"},
+		{"loss without duration", Event{Kind: Loss, Prob: 0.5}, "positive duration"},
+		{"burst without duration", Event{Kind: Burst}, "positive duration"},
+		{"corrupt without duration", Event{Kind: Corrupt, Prob: 0.5}, "positive duration"},
+		{"degrade self link", Event{Kind: Degrade, From: 1, To: 1, BWFactor: 0.5, LatFactor: 1, Duration: ms}, "not a fabric link"},
+		{"degrade outside fabric", Event{Kind: Degrade, From: 0, To: 7, BWFactor: 0.5, LatFactor: 1, Duration: ms}, "outside"},
+		{"degrade zero factor", Event{Kind: Degrade, From: 0, To: 1, BWFactor: 0, LatFactor: 1, Duration: ms}, "positive"},
+		{"degrade without duration", Event{Kind: Degrade, From: 0, To: 1, BWFactor: 0.5, LatFactor: 2}, "positive duration"},
+		{"stall unknown core", Event{Kind: Stall, Core: 999, Duration: ms}, "no core"},
+		{"stall without duration", Event{Kind: Stall, Core: 0}, "positive duration"},
+		{"unknown kind", Event{Kind: Kind(99)}, "unknown kind"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Arm(&Plan{Events: []Event{c.ev}}, r.targets())
+			if err == nil {
+				t.Fatalf("Arm accepted %+v", c.ev)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsMissingTargets(t *testing.T) {
+	eng := sim.NewEngine()
+	ms := time.Millisecond
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"link without nic", Event{Kind: LinkDown}, "no NIC target"},
+		{"loss without wire", Event{Kind: Loss, Prob: 0.5, Duration: ms}, "no wire target"},
+		{"burst without wire", Event{Kind: Burst, Duration: ms}, "no wire target"},
+		{"degrade without fabric", Event{Kind: Degrade, From: 0, To: 1, BWFactor: 0.5, LatFactor: 1, Duration: ms}, "no fabric target"},
+		{"stall without kernel", Event{Kind: Stall, Core: 0, Duration: ms}, "no kernel target"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Arm(&Plan{Events: []Event{c.ev}}, Targets{Engine: eng})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+	if _, err := Arm(&Plan{}, Targets{}); err == nil {
+		t.Fatal("Arm without an engine must fail")
+	}
+}
+
+func TestEmptyPlanArmsNothing(t *testing.T) {
+	r := newRig(t)
+	inj, err := Arm(&Plan{Seed: 7}, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	r.send(ClientToServer, 1)
+	r.eng.RunFor(time.Millisecond)
+	if inj.EventsFired() != 0 || inj.TotalWireDrops() != 0 {
+		t.Fatalf("empty plan fired events: %d fired, %d drops", inj.EventsFired(), inj.TotalWireDrops())
+	}
+	// No direction was targeted, so no filter state was built: the wire
+	// keeps its nil-filter fast path.
+	if inj.c2s != nil || inj.s2c != nil {
+		t.Fatal("empty plan must not install wire filters")
+	}
+	if len(r.server.got) != 1 {
+		t.Fatalf("frame lost without any armed fault: got %d", len(r.server.got))
+	}
+}
+
+func TestLinkFlapDrivesTransitions(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: time.Millisecond, Kind: LinkFlap, PF: 0, Duration: 2 * time.Millisecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	r.eng.RunFor(2 * time.Millisecond) // t=2ms: inside the outage
+	if r.nic.PF(0).LinkUp() {
+		t.Fatal("PF0 link should be down mid-flap")
+	}
+	if r.nic.PF(1).LinkUp() != true {
+		t.Fatal("PF1 must be untouched")
+	}
+	if inj.LinkTransitions() != 1 {
+		t.Fatalf("transitions = %d, want 1", inj.LinkTransitions())
+	}
+	r.eng.RunFor(2 * time.Millisecond) // t=4ms: restored
+	if !r.nic.PF(0).LinkUp() {
+		t.Fatal("PF0 link should be restored after the flap")
+	}
+	if inj.LinkTransitions() != 2 || inj.EventsFired() != 2 {
+		t.Fatalf("transitions = %d, fired = %d, want 2/2", inj.LinkTransitions(), inj.EventsFired())
+	}
+}
+
+func TestLinkDownThenUpEvents(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: 0, Kind: LinkDown, PF: 1},
+		{At: time.Millisecond, Kind: LinkUp, PF: 1},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	r.eng.RunFor(500 * time.Microsecond)
+	if r.nic.PF(1).LinkUp() {
+		t.Fatal("PF1 should be down")
+	}
+	r.eng.RunFor(time.Millisecond)
+	if !r.nic.PF(1).LinkUp() {
+		t.Fatal("PF1 should be back up")
+	}
+	if inj.LinkTransitions() != 2 {
+		t.Fatalf("transitions = %d, want 2", inj.LinkTransitions())
+	}
+}
+
+// lossRun drives 300 spaced frames through a 30% loss window covering
+// the first 200 and returns the delivered sequence numbers.
+func lossRun(t *testing.T) ([]uint64, uint64) {
+	t.Helper()
+	r := newRig(t)
+	plan := &Plan{Seed: 99, Events: []Event{
+		{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.3, Duration: 200 * time.Microsecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		seq := uint64(i + 1)
+		r.eng.After(time.Duration(i)*time.Microsecond, func() { r.send(ClientToServer, seq) })
+	}
+	r.eng.RunFor(time.Millisecond)
+	var delivered []uint64
+	for _, f := range r.server.got {
+		delivered = append(delivered, f.Seq)
+	}
+	return delivered, inj.LossDrops()
+}
+
+func TestLossIsSeededAndDeterministic(t *testing.T) {
+	gotA, dropsA := lossRun(t)
+	gotB, dropsB := lossRun(t)
+	if dropsA == 0 || dropsA >= 200 {
+		t.Fatalf("drops = %d, want some but not all of the windowed frames", dropsA)
+	}
+	if dropsA != dropsB || !reflect.DeepEqual(gotA, gotB) {
+		t.Fatalf("same seed produced different runs: %d/%d drops, %d/%d delivered",
+			dropsA, dropsB, len(gotA), len(gotB))
+	}
+	// Frames after the window must all survive.
+	var after int
+	for _, seq := range gotA {
+		if seq > 200 {
+			after++
+		}
+	}
+	if after != 100 {
+		t.Fatalf("post-window frames delivered = %d, want all 100", after)
+	}
+}
+
+func TestBurstDropsEverythingInWindow(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: 100 * time.Microsecond, Kind: Burst, Dir: ServerToClient, Duration: 100 * time.Microsecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	for _, at := range []time.Duration{50 * time.Microsecond, 150 * time.Microsecond, 250 * time.Microsecond} {
+		at := at
+		r.eng.After(at, func() { r.send(ServerToClient, uint64(at)) })
+	}
+	r.eng.RunFor(time.Millisecond)
+	if len(r.client.got) != 2 {
+		t.Fatalf("delivered = %d, want 2 (outside the burst)", len(r.client.got))
+	}
+	if inj.BurstDrops() != 1 || inj.TotalWireDrops() != 1 {
+		t.Fatalf("burst drops = %d, total = %d, want 1/1", inj.BurstDrops(), inj.TotalWireDrops())
+	}
+	if r.wire.FaultDrops(r.server) != 1 {
+		t.Fatalf("wire-side drop counter = %d, want 1", r.wire.FaultDrops(r.server))
+	}
+}
+
+func TestCorruptionCountedSeparatelyFromLoss(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: 0, Kind: Corrupt, Dir: ClientToServer, Prob: 1, Duration: 100 * time.Microsecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		r.eng.After(time.Duration(i)*time.Microsecond, func() { r.send(ClientToServer, 1) })
+	}
+	r.eng.RunFor(time.Millisecond)
+	if len(r.server.got) != 0 {
+		t.Fatalf("delivered = %d, want 0 at corruption prob 1", len(r.server.got))
+	}
+	if inj.CorruptDrops() != 10 || inj.LossDrops() != 0 {
+		t.Fatalf("corrupt = %d, loss = %d, want 10/0", inj.CorruptDrops(), inj.LossDrops())
+	}
+}
+
+func TestFilterInstalledOnlyForTargetedDirection(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: 0, Kind: Burst, Dir: ClientToServer, Duration: time.Millisecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	r.eng.After(100*time.Microsecond, func() { r.send(ServerToClient, 1) })
+	r.eng.RunFor(time.Millisecond)
+	if inj.s2c != nil {
+		t.Fatal("untargeted direction grew filter state")
+	}
+	if len(r.client.got) != 1 || r.wire.FaultDrops(r.server) != 0 {
+		t.Fatal("untargeted direction lost a frame")
+	}
+}
+
+func TestDegradeInflatesLinkAndRestores(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: time.Millisecond, Kind: Degrade, From: 0, To: 1, BWFactor: 0.5, LatFactor: 2, Duration: time.Millisecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	healthy := r.fab.Latency(0, 1, 4096)
+	r.eng.RunFor(1500 * time.Microsecond) // mid-window
+	if got := r.fab.Latency(0, 1, 4096); got <= healthy {
+		t.Fatalf("degraded latency %v not above healthy %v", got, healthy)
+	}
+	r.eng.RunFor(time.Millisecond) // past the window
+	if got := r.fab.Latency(0, 1, 4096); got != healthy {
+		t.Fatalf("restored latency %v, want healthy %v", got, healthy)
+	}
+	if inj.degrades != 1 || inj.EventsFired() != 1 {
+		t.Fatalf("degrades = %d, fired = %d, want 1/1", inj.degrades, inj.EventsFired())
+	}
+}
+
+func TestStallDelaysQueuedWork(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: 0, Kind: Stall, Core: 0, Duration: time.Millisecond},
+	}}
+	inj, err := Arm(plan, r.targets())
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	var doneAt sim.Time
+	r.eng.After(100*time.Microsecond, func() {
+		r.k.Core(0).SubmitFixed("probe", time.Microsecond, func() { doneAt = r.eng.Now() })
+	})
+	r.eng.RunFor(5 * time.Millisecond)
+	if doneAt == 0 {
+		t.Fatal("probe never ran")
+	}
+	if doneAt < sim.Time(time.Millisecond) {
+		t.Fatalf("probe completed at %v, should have waited behind the 1ms stall", doneAt)
+	}
+	if inj.stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", inj.stalls)
+	}
+}

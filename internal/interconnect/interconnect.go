@@ -111,6 +111,14 @@ func (f *Fabric) AddFlow(name string, from, to topology.NodeID, demand float64) 
 	return f.Pipe(from, to).AddFlow(name, demand)
 }
 
+// Degrade scales one direction's bandwidth and base latency relative to
+// the link's healthy values (fault injection: a flapping lane group, a
+// misbehaving home agent). Degrade(from, to, 1, 1) restores the link
+// exactly.
+func (f *Fabric) Degrade(from, to topology.NodeID, bwFactor, latFactor float64) {
+	f.Pipe(from, to).SetDegradation(bwFactor, latFactor)
+}
+
 // Utilization returns the utilization of the from -> to direction.
 func (f *Fabric) Utilization(from, to topology.NodeID) float64 {
 	if from == to {

@@ -170,6 +170,18 @@ func (c *Core) SubmitFixed(name string, d time.Duration, done func()) {
 	c.Submit(name, func() time.Duration { return d }, done)
 }
 
+// Stall occupies the core with non-preemptible busywork for the given
+// duration: queued work items and newly raised interrupts wait behind
+// it, exactly as behind any other run-to-completion item. Fault
+// injection uses it to model firmware-level stalls (SMIs, thermal
+// throttling events) and — with a long duration — a core going offline.
+func (c *Core) Stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.SubmitFixed("fault:stall", d, nil)
+}
+
 // IRQ delivers a hardware interrupt to this core: the handler runs at
 // queue-head priority after the IRQ entry cost. Interrupts preempt in
 // real kernels; FIFO placement is close enough at the interrupt rates

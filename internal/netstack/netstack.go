@@ -52,6 +52,17 @@ type Params struct {
 	TSO int64
 	// UserBufBytes sizes each socket's user-space buffer.
 	UserBufBytes int64
+	// RetxTimeout arms the TCP retransmission timer: segments
+	// unacknowledged for this long are re-sent with exponential backoff.
+	// Zero (the default) disables retransmission entirely — every hook
+	// on the datapath short-circuits — because the fault-free simulation
+	// never loses a segment.
+	RetxTimeout time.Duration
+	// RetxMaxTries bounds retransmission attempts per segment; a segment
+	// still unacknowledged after that many re-sends is abandoned (its
+	// window bytes are released and stack/retx/abandoned counts it).
+	// Zero means retry forever.
+	RetxMaxTries int
 }
 
 // DefaultParams returns the calibrated defaults.
@@ -87,7 +98,10 @@ type Packet struct {
 	Descriptors int
 	Frags       []Frag
 	Proto       uint8
-	Meta        any
+	// Seq is the segment's per-flow sequence number, carried through the
+	// device to the receiver (retransmission dedup).
+	Seq  uint64
+	Meta any
 	// OnSent fires when the driver reaps the Tx completion.
 	OnSent func()
 	// OOOOkay reports the old queue drained, allowing an XPS queue
@@ -137,6 +151,12 @@ type Stack struct {
 
 	rxSegments uint64
 	rxDrops    uint64
+
+	// Retransmission counters (stack/retx/... in the registry).
+	retxTimeouts    uint64
+	retxRetransmits uint64
+	retxDuplicates  uint64
+	retxAbandoned   uint64
 }
 
 // NewStack boots a stack on a kernel and registers it on the network.
@@ -263,6 +283,34 @@ func (st *Stack) DeliverRx(rxp *nic.RxPacket) {
 		// Drop paths consume the packet: recycle it here, exactly once.
 		st.rxDrops++
 		rxp.Recycle()
+		return
+	}
+	if st.params.RetxTimeout > 0 && s.ft.Proto == eth.ProtoTCP && rxp.Seq != 0 {
+		if s.seenSeq(rxp.Seq) {
+			// A retransmitted copy of a segment that already made it.
+			// Consume it and re-acknowledge: the duplicate ACK lets the
+			// sender clear its retransmit entry when the original's ACK
+			// raced the timeout.
+			st.retxDuplicates++
+			payload, seq := rxp.Payload, rxp.Seq
+			rxp.Recycle()
+			if s.peer != nil {
+				s.sendSeqAck(payload, seq)
+			}
+			return
+		}
+		if !s.rxq.tryPut(rxp) {
+			// Receive-buffer overflow: dropped before being marked
+			// received and not acknowledged, so the sender's timer
+			// recovers the segment.
+			st.rxDrops++
+			rxp.Recycle()
+			return
+		}
+		s.markSeq(rxp.Seq)
+		if s.peer != nil {
+			s.sendSeqAck(rxp.Payload, rxp.Seq)
+		}
 		return
 	}
 	if !s.rxq.tryPut(rxp) {

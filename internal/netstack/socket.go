@@ -66,6 +66,36 @@ type Socket struct {
 	// ackFree recycles window-update events (one ACK flight per
 	// received segment would otherwise allocate a closure each).
 	ackFree *ackEvent
+
+	// Retransmission state, all dormant unless Params.RetxTimeout > 0.
+	// Sender side: unacked tracks in-flight segments for the lazily
+	// spawned timer thread; retxPkt/retxFrag are the timer thread's own
+	// scratch (it runs concurrently with the sending thread, which owns
+	// sendPkt). Receiver side: rxCum/rxOut dedup retransmitted copies —
+	// every seq ≤ rxCum was received, rxOut holds the out-of-order tail.
+	unacked    []retxSeg
+	retxT      *kernel.Thread
+	retxSig    *sim.Signal
+	retxDown   bool
+	retxPkts   int
+	retxCostFn func() time.Duration // cached s.retxCost
+	retxPkt    Packet
+	rxCum      uint64
+	rxOut      map[uint64]struct{}
+}
+
+// retxSeg is one unacknowledged segment held for possible
+// retransmission: enough to rebuild the wire packet, plus the timer
+// state. frags aliases kernel-side buffers (the socket tx staging
+// buffer, or page-cache pages for SendFrags), never user scratch.
+type retxSeg struct {
+	seq      uint64
+	bytes    int64
+	pkts     int
+	meta     any
+	frags    []Frag
+	deadline sim.Time
+	tries    int
 }
 
 // sendCost prices one transmit segment: protocol work, syscall entry
@@ -123,17 +153,25 @@ type ackEvent struct {
 	peer  *Socket
 	acked int64
 	free  int64
-	fn    func() // cached ev.run
-	next  *ackEvent
+	// seq names the acknowledged segment when retransmission is armed;
+	// zero selects the legacy byte-count ack path.
+	seq  uint64
+	fn   func() // cached ev.run
+	next *ackEvent
 }
 
 func (ev *ackEvent) run() {
-	peer, acked, free := ev.peer, ev.acked, ev.free
+	peer, acked, free, seq := ev.peer, ev.acked, ev.free, ev.seq
 	ev.peer = nil
+	ev.seq = 0
 	s := ev.owner
 	ev.next = s.ackFree
 	s.ackFree = ev
-	peer.ack(acked)
+	if seq != 0 {
+		peer.ackSeq(seq)
+	} else {
+		peer.ack(acked)
+	}
 	peer.advertise(free)
 }
 
@@ -264,6 +302,9 @@ func (s *Socket) sendFrom(t *kernel.Thread, srcBuf *memsys.Buffer, n int64, meta
 		// it (see NetDevice), so it is reusable next iteration.
 		pkt := &s.sendPkt
 		s.sendFrag[0] = Frag{Buf: s.txBuf(node), Bytes: seg}
+		if s.ft.Proto == eth.ProtoTCP && s.stack.params.RetxTimeout > 0 {
+			s.trackUnacked(s.seq, seg, pkts, meta, s.sendFrag[:1])
+		}
 		*pkt = Packet{
 			Flow:    s.ft,
 			DstMAC:  s.peerMAC,
@@ -271,6 +312,7 @@ func (s *Socket) sendFrom(t *kernel.Thread, srcBuf *memsys.Buffer, n int64, meta
 			Packets: pkts,
 			Frags:   s.sendFrag[:1],
 			Proto:   s.ft.Proto,
+			Seq:     s.seq,
 			Meta:    meta,
 			OOOOkay: oooOK,
 		}
@@ -301,8 +343,12 @@ func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
 	t.ExecFn(s.sgCostFn)
 	desired := s.dev.TxQueueForCore(t.Core())
 	s.txq = desired
+	s.seq++
 	s.sentBytes += total
 	s.sentSegs++
+	if s.ft.Proto == eth.ProtoTCP && s.stack.params.RetxTimeout > 0 {
+		s.trackUnacked(s.seq, total, pkts, meta, frags)
+	}
 	pkt := &s.sendPkt
 	*pkt = Packet{
 		Flow:    s.ft,
@@ -311,6 +357,7 @@ func (s *Socket) SendFrags(t *kernel.Thread, frags []Frag, meta any) {
 		Packets: pkts,
 		Frags:   frags,
 		Proto:   s.ft.Proto,
+		Seq:     s.seq,
 		Meta:    meta,
 	}
 	s.dev.Xmit(t, pkt, desired)
@@ -341,7 +388,14 @@ func (s *Socket) Recv(t *kernel.Thread) (payload int64, meta any, ok bool) {
 
 // sendWindowUpdate acknowledges acked bytes and advertises the current
 // receive-buffer space to the peer, after the ACK flight time.
-func (s *Socket) sendWindowUpdate(acked int64) {
+func (s *Socket) sendWindowUpdate(acked int64) { s.sendAckEvent(acked, 0) }
+
+// sendSeqAck is the retransmission-aware acknowledgement: it names the
+// received segment so the sender can clear its retransmit entry (and
+// ignore the duplicate ACKs a raced timeout produces).
+func (s *Socket) sendSeqAck(acked int64, seq uint64) { s.sendAckEvent(acked, seq) }
+
+func (s *Socket) sendAckEvent(acked int64, seq uint64) {
 	if s.ft.Proto != eth.ProtoTCP || s.peer == nil {
 		return
 	}
@@ -355,6 +409,7 @@ func (s *Socket) sendWindowUpdate(acked int64) {
 	ev.peer = s.peer
 	ev.acked = acked
 	ev.free = s.rxq.free()
+	ev.seq = seq
 	s.stack.k.Engine().After(s.stack.params.AckLatency, ev.fn)
 }
 
@@ -372,10 +427,15 @@ func (s *Socket) TryRecvNoCopy() (*nic.RxPacket, bool) {
 }
 
 // Close tears the socket (and its peer's rx queue) down, releasing
-// blocked receivers.
+// blocked receivers and retiring the retransmission timer.
 func (s *Socket) Close() {
 	delete(s.stack.sockets, s.ft)
 	s.rxq.close()
+	s.retxDown = true
+	s.unacked = nil
+	if s.retxSig != nil {
+		s.retxSig.Broadcast()
+	}
 	if s.peer != nil {
 		p := s.peer
 		s.peer = nil
@@ -397,6 +457,197 @@ func (s *Socket) ack(n int64) {
 	if s.winSig != nil {
 		s.winSig.Broadcast()
 	}
+}
+
+// ackSeq clears the retransmit entry for one segment and opens the
+// window by its bytes. A duplicate ACK — the entry is already gone —
+// is ignored, so the window is never double-opened when both the
+// original and a retransmitted copy are acknowledged.
+func (s *Socket) ackSeq(seq uint64) {
+	for i := range s.unacked {
+		if s.unacked[i].seq == seq {
+			n := s.unacked[i].bytes
+			s.unacked = append(s.unacked[:i], s.unacked[i+1:]...)
+			s.ack(n)
+			return
+		}
+	}
+}
+
+// seenSeq reports whether the receiver already accepted this segment.
+func (s *Socket) seenSeq(seq uint64) bool {
+	if seq <= s.rxCum {
+		return true
+	}
+	_, ok := s.rxOut[seq]
+	return ok
+}
+
+// markSeq records a segment as received, compacting the out-of-order
+// tail into the cumulative watermark. In-order delivery (the fault-free
+// case) never touches the map.
+func (s *Socket) markSeq(seq uint64) {
+	if seq == s.rxCum+1 {
+		s.rxCum++
+		for len(s.rxOut) > 0 {
+			if _, ok := s.rxOut[s.rxCum+1]; !ok {
+				break
+			}
+			delete(s.rxOut, s.rxCum+1)
+			s.rxCum++
+		}
+		return
+	}
+	if s.rxOut == nil {
+		s.rxOut = make(map[uint64]struct{})
+	}
+	s.rxOut[seq] = struct{}{}
+}
+
+// trackUnacked records an in-flight segment for the retransmission
+// timer (copying the fragment list: the caller's slice is per-send
+// scratch) and makes sure the timer thread is running.
+func (s *Socket) trackUnacked(seq uint64, bytes int64, pkts int, meta any, frags []Frag) {
+	fr := make([]Frag, len(frags))
+	copy(fr, frags)
+	s.unacked = append(s.unacked, retxSeg{
+		seq: seq, bytes: bytes, pkts: pkts, meta: meta, frags: fr,
+		deadline: s.stack.k.Engine().Now().Add(s.stack.params.RetxTimeout),
+	})
+	s.ensureRetxThread()
+	s.retxSig.Broadcast()
+}
+
+// ensureRetxThread lazily spawns the socket's retransmission timer on
+// the owner's core (sockets that never send TCP data never pay for
+// one).
+func (s *Socket) ensureRetxThread() {
+	if s.retxT != nil {
+		return
+	}
+	if s.retxSig == nil {
+		s.retxSig = sim.NewSignal(s.stack.k.Engine())
+	}
+	s.retxCostFn = s.retxCost
+	core := topology.CoreID(0)
+	if s.owner != nil {
+		core = s.owner.Core()
+	}
+	s.retxT = s.stack.k.Spawn("retx:"+s.ft.String(), core, s.retxLoop)
+}
+
+// retxCost prices re-sending one segment: protocol work only — the
+// data already sits in kernel buffers, so there is no syscall and no
+// user copy.
+func (s *Socket) retxCost() time.Duration {
+	p := s.stack.params
+	return p.TCPTxSegment + time.Duration(s.retxPkts)*p.TCPTxPerPacket
+}
+
+// retxLoop is the retransmission timer thread. It sleeps until the
+// earliest deadline could fire — capped at one RetxTimeout, so a
+// segment queued while it slept (whose deadline is necessarily at
+// least now+RTO) is still examined on time — then re-sends everything
+// overdue with per-segment exponential backoff.
+func (s *Socket) retxLoop(t *kernel.Thread) {
+	rto := s.stack.params.RetxTimeout
+	for {
+		if s.retxDown {
+			return
+		}
+		if len(s.unacked) == 0 {
+			t.Wait(s.retxSig)
+			continue
+		}
+		now := t.Now()
+		wake := s.unacked[0].deadline
+		for i := range s.unacked {
+			if s.unacked[i].deadline < wake {
+				wake = s.unacked[i].deadline
+			}
+		}
+		if limit := now.Add(rto); wake > limit {
+			wake = limit
+		}
+		if wake > now {
+			t.Sleep(wake.Sub(now))
+			continue
+		}
+		s.retxScan(t)
+	}
+}
+
+// retxScan handles every segment whose deadline has passed. Overdue
+// seqs are snapshotted first: retransmission blocks on core time, and
+// ACKs landing meanwhile mutate the unacked list under us.
+func (s *Socket) retxScan(t *kernel.Thread) {
+	now := t.Now()
+	rto := s.stack.params.RetxTimeout
+	maxTries := s.stack.params.RetxMaxTries
+	var due []uint64
+	for i := range s.unacked {
+		if s.unacked[i].deadline <= now {
+			due = append(due, s.unacked[i].seq)
+		}
+	}
+	for _, seq := range due {
+		if s.retxDown {
+			return
+		}
+		idx := -1
+		for i := range s.unacked {
+			if s.unacked[i].seq == seq {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue // acknowledged while this pass was working
+		}
+		e := &s.unacked[idx]
+		s.stack.retxTimeouts++
+		if maxTries > 0 && e.tries >= maxTries {
+			// Retry budget exhausted: abandon the segment, releasing
+			// its window bytes so the sender is not wedged forever on
+			// data that will never be acknowledged.
+			s.stack.retxAbandoned++
+			n := e.bytes
+			s.unacked = append(s.unacked[:idx], s.unacked[idx+1:]...)
+			s.ack(n)
+			continue
+		}
+		e.tries++
+		shift := uint(e.tries)
+		if shift > 6 {
+			shift = 6 // cap the backoff at 64x RTO
+		}
+		e.deadline = t.Now().Add(rto << shift)
+		// Copy out what the re-send needs: the entry may move or vanish
+		// while the transmit blocks.
+		bytes, pkts, meta, frags := e.bytes, e.pkts, e.meta, e.frags
+		s.retransmit(t, seq, bytes, pkts, meta, frags)
+	}
+}
+
+// retransmit re-sends one tracked segment from the timer thread, using
+// the thread's own scratch packet (the sending thread owns sendPkt).
+func (s *Socket) retransmit(t *kernel.Thread, seq uint64, bytes int64, pkts int, meta any, frags []Frag) {
+	s.stack.retxRetransmits++
+	s.retxPkts = pkts
+	t.ExecFn(s.retxCostFn)
+	txq := s.dev.TxQueueForCore(t.Core())
+	pkt := &s.retxPkt
+	*pkt = Packet{
+		Flow:    s.ft,
+		DstMAC:  s.peerMAC,
+		Payload: bytes,
+		Packets: pkts,
+		Frags:   frags,
+		Proto:   s.ft.Proto,
+		Seq:     seq,
+		Meta:    meta,
+	}
+	s.dev.Xmit(t, pkt, txq)
 }
 
 // advertise records the peer's receive-buffer space.

@@ -153,15 +153,23 @@ func (fw *OctoFirmware) SteerRx(f *eth.Frame) (int, int) {
 	if e, ok := fw.table[f.Flow]; ok {
 		return e.pf, e.queue
 	}
+	// RSS over link-up PFs only: the MPFS knows port state and does not
+	// hash unprogrammed flows onto a dead limb. With every link up (the
+	// only case outside fault injection) the arithmetic is unchanged.
 	var total int
 	for _, p := range fw.nic.pfs {
-		total += len(p.rxQueues)
+		if p.linkUp {
+			total += len(p.rxQueues)
+		}
 	}
 	if total == 0 {
 		return 0, -1
 	}
 	idx := int(f.Flow.Hash()) % total
 	for i, p := range fw.nic.pfs {
+		if !p.linkUp {
+			continue
+		}
 		if idx < len(p.rxQueues) {
 			return i, idx
 		}

@@ -47,6 +47,14 @@ func registerPool(r metrics.Registrar, stats func() PoolStats) {
 func (p *PF) RegisterMetrics(r metrics.Registrar) {
 	r.Counter("rx_bytes", func() float64 { return p.rxBytes })
 	r.Counter("tx_bytes", func() float64 { return p.txBytes })
+	r.Gauge("link_up", func() float64 {
+		if p.linkUp {
+			return 1
+		}
+		return 0
+	})
+	r.Counter("rx_link_drops", func() float64 { return float64(p.rxLinkDrops) })
+	r.Counter("tx_link_drops", func() float64 { return float64(p.txLinkDrops) })
 
 	rx := r.Scope("rx")
 	rx.Gauge("queues", func() float64 { return float64(len(p.rxQueues)) })

@@ -80,6 +80,9 @@ type NIC struct {
 	rxDrops   uint64
 	rxFrames  uint64
 	rxPackets uint64
+
+	// linkHooks fire after a PF's link state changes (driver failover).
+	linkHooks []func(pf int, up bool)
 }
 
 // New builds a NIC over the given PCIe endpoints (one per PF, in PF
@@ -101,10 +104,11 @@ func New(e *sim.Engine, mem *memsys.System, name string, eps []*pcie.Endpoint, p
 	}
 	for i, ep := range eps {
 		n.pfs = append(n.pfs, &PF{
-			nic:   n,
-			index: i,
-			ep:    ep,
-			mac:   eth.MACFromInt(hashName(name) + uint64(i)),
+			nic:    n,
+			index:  i,
+			ep:     ep,
+			mac:    eth.MACFromInt(hashName(name) + uint64(i)),
+			linkUp: true,
 		})
 	}
 	return n
@@ -159,6 +163,30 @@ func (n *NIC) Wire() *eth.Wire { return n.wire }
 // RxDrops returns frames dropped for lack of ring space.
 func (n *NIC) RxDrops() uint64 { return n.rxDrops }
 
+// OnLinkChange registers a hook invoked after a PF's link state flips;
+// the octo team driver uses it to fail flows over to surviving PFs.
+func (n *NIC) OnLinkChange(hook func(pf int, up bool)) {
+	n.linkHooks = append(n.linkHooks, hook)
+}
+
+// SetPFLink forces a PF's link state (fault injection). While down the
+// PF exchanges no frames — arriving frames steered to it are dropped
+// and transmissions die silently, exactly as on a dead port — but its
+// PCIe side stays alive, so descriptor fetches and completion
+// writebacks still drain (the device is up; the port is not). Hooks run
+// synchronously so the driver's failover latency is purely its own
+// re-steering cost.
+func (n *NIC) SetPFLink(pf int, up bool) {
+	p := n.PF(pf)
+	if p.linkUp == up {
+		return
+	}
+	p.linkUp = up
+	for _, h := range n.linkHooks {
+		h(pf, up)
+	}
+}
+
 // Receive implements eth.Port: a frame has fully arrived at the port.
 // The MPFS/firmware steers it to a PF and queue, then the Rx datapath
 // DMAs it to host memory.
@@ -170,6 +198,13 @@ func (n *NIC) Receive(f *eth.Frame) {
 	n.rxPackets += uint64(max(1, f.Packets))
 	pf, queue := n.fw.SteerRx(f)
 	if pf < 0 || pf >= len(n.pfs) {
+		n.rxDrops++
+	} else if !n.pfs[pf].linkUp {
+		// Steered to a dead port: the frame has nowhere to land. The
+		// MPFS cannot re-steer on its own — recovery is the driver's
+		// job (failover re-steers flows; retransmission recovers what
+		// was in flight).
+		n.pfs[pf].rxLinkDrops++
 		n.rxDrops++
 	} else {
 		n.pfs[pf].receive(queue, f)
@@ -194,6 +229,12 @@ type PF struct {
 
 	rxBytes float64 // payload delivered to host via this PF
 	txBytes float64
+
+	// Link state (fault injection): up by default. Counters track
+	// frames lost to a down link in each direction.
+	linkUp      bool
+	rxLinkDrops uint64
+	txLinkDrops uint64
 }
 
 // Index returns the PF number.
@@ -217,6 +258,16 @@ func (p *PF) RxQueues() []*RxQueue { return p.rxQueues }
 
 // TxQueues returns the PF's transmit queues.
 func (p *PF) TxQueues() []*TxQueue { return p.txQueues }
+
+// LinkUp reports whether the PF's link is up.
+func (p *PF) LinkUp() bool { return p.linkUp }
+
+// RxLinkDrops returns frames lost because they were steered to this PF
+// while its link was down.
+func (p *PF) RxLinkDrops() uint64 { return p.rxLinkDrops }
+
+// TxLinkDrops returns transmit segments lost to a down link on this PF.
+func (p *PF) TxLinkDrops() uint64 { return p.txLinkDrops }
 
 // RxBytes returns payload bytes DMA'd to the host through this PF —
 // the per-PF throughput series of Figure 14.

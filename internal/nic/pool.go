@@ -153,6 +153,7 @@ func (pkt *TxPacket) Recycle() {
 	pkt.Frags = pkt.Frags[:0]
 	pkt.Meta = nil
 	pkt.OnSent = nil
+	pkt.Dropped = false
 	pkt.q = nil
 	pkt.postQ = nil
 	p.stats.Live--

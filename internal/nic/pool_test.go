@@ -3,7 +3,9 @@ package nic
 import (
 	"testing"
 
+	"ioctopus/internal/device"
 	"ioctopus/internal/eth"
+	"ioctopus/internal/memsys"
 )
 
 // postAndReap drives one TxPacket through the full Tx datapath and
@@ -152,5 +154,44 @@ func TestSetPoolingDisablesReuse(t *testing.T) {
 	}
 	if st := r.nic.TxPoolStats(); st != (PoolStats{}) {
 		t.Fatalf("unpooled stats should stay zero, got %+v", st)
+	}
+}
+
+// TestRxRingFullDropsLeaveNoLiveLeases: frames that overflow a full
+// completion ring are dropped before a pool lease is ever taken, so a
+// storm of ring-full drops cannot leak pooled packets. After polling
+// and recycling the survivors the live gauge must read zero, with each
+// delivered packet recycled exactly once.
+func TestRxRingFullDropsLeaveNoLiveLeases(t *testing.T) {
+	r := newRig(t)
+	fw := NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	p := r.nic.PF(0)
+	ring := device.NewRing(r.mem, "rxc", 0, 2, 64) // tiny ring
+	bufs := []*memsys.Buffer{r.mem.NewBuffer("b", 0, 64*1024)}
+	q := p.AddRxQueue(ring, bufs, 0, nil)
+	fw.ProgramFlow(flow(1), 0, 0)
+	for i := 0; i < 6; i++ {
+		r.nic.Receive(&eth.Frame{Dst: r.nic.MAC(), Flow: flow(1), Payload: 1500, Packets: 1})
+		r.eng.RunUntilIdle()
+	}
+	if q.Drops() == 0 {
+		t.Fatal("expected ring-full drops")
+	}
+	st := r.nic.RxPoolStats()
+	if st.Live != q.Pending() {
+		t.Fatalf("live leases = %d, want one per pending packet (%d): dropped frames must not lease", st.Live, q.Pending())
+	}
+	batch := q.Poll(64)
+	q.NapiComplete()
+	for _, rxp := range batch {
+		rxp.Recycle()
+	}
+	st = r.nic.RxPoolStats()
+	if st.Live != 0 {
+		t.Fatalf("live leases = %d after recycle, want 0", st.Live)
+	}
+	if st.Recycled != uint64(len(batch)) {
+		t.Fatalf("recycled = %d, want exactly %d (once per delivered packet)", st.Recycled, len(batch))
 	}
 }

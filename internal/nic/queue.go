@@ -21,6 +21,9 @@ type RxPacket struct {
 	Payload   int64
 	Packets   int
 	Flow      eth.FiveTuple
+	// Seq is the segment's per-flow sequence number, carried from the
+	// wire frame so the stack can detect retransmitted duplicates.
+	Seq       uint64
 	Meta      any
 	ArrivedAt sim.Time
 
@@ -146,6 +149,7 @@ func (q *RxQueue) receive(f *eth.Frame) {
 	rxp.Payload = f.Payload
 	rxp.Packets = max(1, f.Packets)
 	rxp.Flow = f.Flow
+	rxp.Seq = f.Seq
 	rxp.Meta = f.Meta
 	// Payload DMA, then completion writeback, then interrupt decision.
 	q.pf.ep.DMAWrite(buf, f.Payload, rxp.payloadDone)
@@ -224,9 +228,17 @@ type TxPacket struct {
 	Descriptors int
 	Flow        eth.FiveTuple
 	Dst         eth.MAC
-	Meta        any
+	// Seq is the segment's per-flow sequence number, copied onto the
+	// wire frame (retransmission dedup at the receiver).
+	Seq  uint64
+	Meta any
 	// OnSent fires after the driver reaps the Tx completion.
 	OnSent func()
+	// Dropped is set by the device when the segment died on a down
+	// link: the completion still writes back (the PCIe side is alive)
+	// so the driver reaps the descriptor, sees the flag, and may
+	// repost the segment on a surviving PF instead of recycling it.
+	Dropped bool
 
 	// Pool plumbing plus the packet's cached DMA-stage callbacks: the
 	// per-fragment payload reads of one packet form a single batch
@@ -401,9 +413,18 @@ func (q *TxQueue) startPayloadDMA(pkt *TxPacket) {
 	}
 }
 
-// transmit puts the assembled frame on the wire and completes.
+// transmit puts the assembled frame on the wire and completes. On a
+// down link the frame is never built: the segment dies at the port, but
+// the completion writeback still happens (flagged Dropped) so the
+// descriptor ring drains and the driver can recover the segment.
 func (q *TxQueue) transmit(pkt *TxPacket) {
 	nic := q.pf.nic
+	if !q.pf.linkUp {
+		pkt.Dropped = true
+		q.pf.txLinkDrops++
+		q.pf.ep.DMAWrite(q.compRing.Buffer(), int64(max(1, pkt.Packets))*nic.params.DescBytes, pkt.compDone)
+		return
+	}
 	src := q.pf.mac
 	if nic.fw != nil && nic.fw.SingleMAC() {
 		src = nic.mac
@@ -414,7 +435,7 @@ func (q *TxQueue) transmit(pkt *TxPacket) {
 	frame.Flow = pkt.Flow
 	frame.Payload = pkt.Payload
 	frame.Packets = max(1, pkt.Packets)
-	frame.Seq = 0
+	frame.Seq = pkt.Seq
 	frame.Meta = pkt.Meta
 	nic.wire.Send(nic, frame)
 	q.pf.txBytes += float64(pkt.Payload)

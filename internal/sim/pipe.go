@@ -29,10 +29,15 @@ type Pipe struct {
 	eng  *Engine
 	name string
 
-	capacity     float64 // bytes/sec
+	capacity     float64 // bytes/sec (current, possibly degraded)
 	baseLatency  time.Duration
 	maxInflation float64
 	minShare     float64
+
+	// Healthy-state values, recorded at construction so fault injection
+	// can degrade the pipe mid-run and restore it exactly.
+	healthyCapacity float64
+	healthyLatency  time.Duration
 
 	// Discrete traffic: FIFO serialization and a leaky-bucket rate
 	// estimate (exponential kernel) used to size the fluid share.
@@ -83,14 +88,40 @@ func NewPipe(e *Engine, cfg PipeConfig) *Pipe {
 		cfg.MinDiscreteShare = 0.05
 	}
 	return &Pipe{
-		eng:          e,
-		name:         cfg.Name,
-		capacity:     cfg.BytesPerSec,
-		baseLatency:  cfg.BaseLatency,
-		maxInflation: cfg.MaxInflation,
-		minShare:     cfg.MinDiscreteShare,
-		tau:          cfg.EstimatorTau.Seconds(),
+		eng:             e,
+		name:            cfg.Name,
+		capacity:        cfg.BytesPerSec,
+		baseLatency:     cfg.BaseLatency,
+		healthyCapacity: cfg.BytesPerSec,
+		healthyLatency:  cfg.BaseLatency,
+		maxInflation:    cfg.MaxInflation,
+		minShare:        cfg.MinDiscreteShare,
+		tau:             cfg.EstimatorTau.Seconds(),
 	}
+}
+
+// SetDegradation scales the pipe's capacity and base latency relative to
+// its healthy (construction-time) values: bwFactor multiplies capacity,
+// latFactor multiplies base latency. SetDegradation(1, 1) restores the
+// pipe exactly. Fluid flows are integrated at the old rates first, then
+// re-water-filled at the new capacity, so a mid-run degradation is
+// accounted from the instant it fires. Pending discrete transfers keep
+// their already-scheduled completion times (bits in flight stay in
+// flight); new transfers see the degraded pipe.
+func (pp *Pipe) SetDegradation(bwFactor, latFactor float64) {
+	if bwFactor <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q bandwidth factor must be positive", pp.name))
+	}
+	if latFactor <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q latency factor must be positive", pp.name))
+	}
+	pp.integrateFluid()
+	pp.capacity = pp.healthyCapacity * bwFactor
+	pp.baseLatency = time.Duration(float64(pp.healthyLatency) * latFactor)
+	if pp.discRate > pp.capacity {
+		pp.discRate = pp.capacity
+	}
+	pp.reallocate()
 }
 
 // Name returns the pipe's name.

@@ -28,6 +28,7 @@ import (
 	"ioctopus/internal/core"
 	"ioctopus/internal/eth"
 	"ioctopus/internal/experiments"
+	"ioctopus/internal/faults"
 	"ioctopus/internal/kernel"
 	"ioctopus/internal/netstack"
 	"ioctopus/internal/nvme"
@@ -95,6 +96,47 @@ const (
 
 // NewCluster builds the testbed.
 func NewCluster(cfg Config) *Cluster { return core.NewCluster(cfg) }
+
+// NewClusterE builds the testbed, returning an error instead of
+// panicking when the config describes an impossible machine (a PF with
+// zero queues, a card wired to a socket the topology lacks, a
+// malformed fault plan).
+func NewClusterE(cfg Config) (*Cluster, error) { return core.NewClusterE(cfg) }
+
+// ValidateConfig vets a cluster config without building it.
+func ValidateConfig(cfg Config) error { return core.ValidateConfig(cfg) }
+
+// StackParams are the netstack cost/behaviour knobs, settable per
+// cluster via Config.StackParams (the chaos harness enables the
+// retransmission timer there).
+type StackParams = netstack.Params
+
+// DefaultStackParams returns the calibrated netstack defaults.
+func DefaultStackParams() StackParams { return netstack.DefaultParams() }
+
+// Fault injection: a FaultPlan is a deterministic, seed-driven schedule
+// of failures armed against the assembled cluster via Config.FaultPlan.
+// The same seed and events replay byte-identically.
+type (
+	FaultPlan     = faults.Plan
+	FaultEvent    = faults.Event
+	FaultInjector = faults.Injector
+)
+
+// Fault kinds and wire directions.
+const (
+	FaultLinkDown = faults.LinkDown
+	FaultLinkUp   = faults.LinkUp
+	FaultLinkFlap = faults.LinkFlap
+	FaultLoss     = faults.Loss
+	FaultBurst    = faults.Burst
+	FaultCorrupt  = faults.Corrupt
+	FaultDegrade  = faults.Degrade
+	FaultStall    = faults.Stall
+
+	ClientToServer = faults.ClientToServer
+	ServerToClient = faults.ServerToClient
+)
 
 // StorageRig is the §5.4 NVMe testbed.
 type StorageRig = core.StorageRig
@@ -174,8 +216,14 @@ func RunExperiment(id string, d Durations) (*ExperimentResult, error) {
 	return experiments.Run(id, d)
 }
 
-// ExperimentIDs lists all reproducible artifacts.
+// ExperimentIDs lists all reproducible artifacts. Hidden harnesses
+// (the chaos fault-injection run) are runnable by name but not listed;
+// HasExperiment accepts both.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// HasExperiment reports whether id names a runnable experiment,
+// including hidden ones like "chaos" (CLI flag validation).
+func HasExperiment(id string) bool { return experiments.Has(id) }
 
 // Report is the versioned JSON export of an ioctobench run (schema
 // "ioctobench-report", version 1): run metadata, per-figure results,

@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./internal/sim/... ./internal/metrics/... ./internal/experiments/...
+go test -race ./internal/sim/... ./internal/metrics/... ./internal/experiments/... ./internal/faults/...
 go test ./...
 
 # JSON schema gate: emit a real report and require it to validate.
@@ -19,6 +19,14 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/ioctobench -fig fig2 -quick -json "$tmp/report.json" > "$tmp/report.txt"
 test -s "$tmp/report.json"
+
+# Chaos determinism gate: the fault-injection run is a pure function of
+# its seed — run it twice and require byte-identical text and JSON
+# reports (report metadata carries no wall-clock fields by design).
+go run ./cmd/ioctobench -fig chaos -quick -json "$tmp/chaos1.json" > "$tmp/chaos1.txt"
+go run ./cmd/ioctobench -fig chaos -quick -json "$tmp/chaos2.json" > "$tmp/chaos2.txt"
+cmp "$tmp/chaos1.txt" "$tmp/chaos2.txt"
+cmp "$tmp/chaos1.json" "$tmp/chaos2.json"
 
 # Bench gate: the packet-path benchmarks must stay within the allocs/op
 # thresholds recorded in BENCH_sim.json (the "gate" section).
