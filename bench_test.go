@@ -255,10 +255,27 @@ func measureRxPair(b *testing.B, msg int64) (local, remote float64) {
 // Allocations are reported to guard the engine's free-list design; the
 // residual allocs/op are model-layer closures, not the dispatch loop
 // (see sim.TestScheduleDispatchAllocFree for the zero-alloc guarantee).
+// events/sec is the headline dispatch rate BENCH_sim.json records per
+// PR (it includes cluster construction; BenchmarkPacketPath isolates
+// the steady state).
 func BenchmarkSimulatorEventRate(b *testing.B) {
+	benchEventRate(b, 1)
+}
+
+// BenchmarkSimulatorEventRateSharded runs the identical workload on the
+// two-shard engine (one shard per simulated host). Output is
+// byte-identical to the serial run — this benchmark exists to price the
+// sharding, not to re-verify it: compare its events/sec against
+// BenchmarkSimulatorEventRate on a multi-core host.
+func BenchmarkSimulatorEventRateSharded(b *testing.B) {
+	benchEventRate(b, 2)
+}
+
+func benchEventRate(b *testing.B, shards int) {
 	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		cl := ioctopus.NewCluster(ioctopus.Config{Mode: ioctopus.ModeIOctopus})
+		cl := ioctopus.NewCluster(ioctopus.Config{Mode: ioctopus.ModeIOctopus, Shards: shards})
 		w := workloads.StartStream(cl, workloads.StreamConfig{
 			MsgSize: 65536, Direction: workloads.Rx,
 			ServerCores: []topology.CoreID{0}, ServerIP: core.IPServerPF0,
@@ -267,8 +284,13 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		if w.Bytes() == 0 {
 			w.MeasureStart()
 		}
-		events := cl.Eng.Executed
+		if cl.Group != nil {
+			events += cl.Group.Executed()
+		} else {
+			events += cl.Eng.Executed
+		}
 		cl.Drain()
-		b.ReportMetric(float64(events), "events/run")
 	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

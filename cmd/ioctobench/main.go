@@ -11,6 +11,7 @@
 //	ioctobench -list
 //	ioctobench -fig fig6
 //	ioctobench -fig all -quick -parallel 8
+//	ioctobench -fig all -quick -shards 2
 //	ioctobench -fig fig14 -o fig14.txt
 //	ioctobench -fig all -quick -json report.json
 //	ioctobench -fig fig6 -profile ./prof
@@ -39,6 +40,8 @@ func main() {
 		profDir  = flag.String("profile", "", "write cpu.pprof and heap.pprof for the run into this directory")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max simulations in flight (1 = fully serial); results are identical at any level")
+		shards = flag.Int("shards", 1,
+			"engine shards per simulated cluster (1 = serial engine; 2 = one shard per host); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -62,8 +65,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ioctobench: -parallel %d is invalid; need at least 1 simulation in flight\n", *parallel)
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "ioctobench: -shards %d is invalid; need at least 1 engine shard\n", *shards)
+		os.Exit(2)
+	}
 
 	ioctopus.SetParallelism(*parallel)
+	ioctopus.SetShards(*shards)
 
 	d := ioctopus.FullDurations()
 	if *quick {

@@ -86,7 +86,8 @@ func (s *sink) Receive(f *Frame) {
 		s.at = append(s.at, s.eng.Now())
 	}
 }
-func (s *sink) PortMAC() MAC { return s.mac }
+func (s *sink) PortMAC() MAC        { return s.mac }
+func (s *sink) Engine() *sim.Engine { return nil }
 
 func TestWireDelivery(t *testing.T) {
 	e := sim.NewEngine()

@@ -60,7 +60,7 @@ func runChaos(d Durations) *Result {
 		},
 	}
 
-	cl := core.NewCluster(core.Config{
+	cl := newCluster(core.Config{
 		Mode:        core.ModeIOctopus,
 		StackParams: &sp,
 		FaultPlan:   plan,

@@ -39,6 +39,14 @@ func clusterFor(c config, opts core.Config) *core.Cluster {
 	} else {
 		opts.Mode = core.ModeStandard
 	}
+	return newCluster(opts)
+}
+
+// newCluster builds a cluster with the harness-wide engine shard count
+// applied; every experiment cluster goes through here so -shards
+// affects all of them uniformly.
+func newCluster(opts core.Config) *core.Cluster {
+	opts.Shards = Shards()
 	return core.NewCluster(opts)
 }
 

@@ -26,7 +26,7 @@ func runAblationScheduler(d Durations) *Result {
 		"mode", "pinned Gb/s", "balanced Gb/s", "balanced/pinned")
 
 	measure := func(mode core.NICMode, balance bool) float64 {
-		cl := core.NewCluster(core.Config{Mode: mode})
+		cl := newCluster(core.Config{Mode: mode})
 		defer cl.Drain()
 		var received int64
 		var serverThread *kernel.Thread

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// shardRun renders fig2 + chaos and snapshots the canonical telemetry
+// registry at the given shard count and GOMAXPROCS. Everything a report
+// exports is covered: rendered tables, pass/fail checks, and the raw
+// metrics samples (engine clocks, pool depths, pipe counters).
+func shardRun(t *testing.T, shards, procs int) (rendered string, snapshots []byte) {
+	t.Helper()
+	oldProcs := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(oldProcs)
+	oldShards := Shards()
+	SetShards(shards)
+	defer SetShards(oldShards)
+
+	d := Quick()
+	for _, id := range []string{"fig2", "chaos"} {
+		res, err := Run(id, d)
+		if err != nil {
+			t.Fatalf("shards=%d procs=%d: %s: %v", shards, procs, id, err)
+		}
+		rendered += res.Render()
+	}
+	snaps, err := json.Marshal(RegistrySnapshots(d))
+	if err != nil {
+		t.Fatalf("shards=%d procs=%d: marshal snapshots: %v", shards, procs, err)
+	}
+	return rendered, snaps
+}
+
+// TestShardDeterminism is the tentpole's contract test: the sharded
+// engine must be an invisible optimization. fig2 (the headline result)
+// and chaos (fault windows, retransmission, PF failover — the hardest
+// path to keep deterministic) must render byte-identically, with
+// byte-identical metrics snapshots, at every shard count and at any
+// GOMAXPROCS. Shard counts above one per host clamp, so 4 also proves
+// the clamp changes nothing.
+func TestShardDeterminism(t *testing.T) {
+	refRender, refSnaps := shardRun(t, 1, runtime.NumCPU())
+	if refRender == "" {
+		t.Fatal("reference run rendered nothing")
+	}
+
+	cases := []struct{ shards, procs int }{
+		{1, 1},
+		{2, 1},
+		{2, runtime.NumCPU()},
+		{4, runtime.NumCPU()},
+	}
+	if testing.Short() {
+		cases = cases[2:3] // the one case that actually runs shards concurrently
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("shards=%d/procs=%d", tc.shards, tc.procs), func(t *testing.T) {
+			gotRender, gotSnaps := shardRun(t, tc.shards, tc.procs)
+			if gotRender != refRender {
+				t.Errorf("rendered output diverges from serial reference:\n--- got\n%s\n--- want\n%s",
+					gotRender, refRender)
+			}
+			if string(gotSnaps) != string(refSnaps) {
+				t.Errorf("metrics snapshots diverge from serial reference:\n--- got\n%s\n--- want\n%s",
+					gotSnaps, refSnaps)
+			}
+		})
+	}
+}

@@ -21,6 +21,8 @@
 package faults
 
 import (
+	"sync/atomic"
+
 	"fmt"
 	"time"
 
@@ -134,6 +136,11 @@ type Plan struct {
 type Targets struct {
 	// Engine schedules the fault events.
 	Engine *sim.Engine
+	// ClientEngine, when the cluster is sharded, is the client host's
+	// engine: loss/burst/corrupt windows in the ClientToServer direction
+	// are scheduled there, so the state the client-side wire filter
+	// reads is only ever touched by its own shard. Nil means Engine.
+	ClientEngine *sim.Engine
 	// NIC is the multi-PF device link faults act on.
 	NIC *nic.NIC
 	// Wire carries the loss faults; ServerPort/ClientPort identify its
@@ -229,38 +236,49 @@ type dirState struct {
 // filter implements eth.FaultFilter for one direction.
 func (ds *dirState) filter(f *eth.Frame) bool {
 	if ds.burst {
-		ds.inj.burstDrops++
+		ds.inj.burstDrops.Add(1)
 		return true
 	}
 	// Bernoulli(p<=0) returns false without consuming the stream, so a
 	// direction between windows draws nothing and stays in lockstep
 	// with a run whose windows fire at different times.
 	if ds.rng.Bernoulli(ds.lossProb) {
-		ds.inj.lossDrops++
+		ds.inj.lossDrops.Add(1)
 		return true
 	}
 	if ds.rng.Bernoulli(ds.corruptProb) {
-		ds.inj.corruptDrops++
+		ds.inj.corruptDrops.Add(1)
 		return true
 	}
 	return false
 }
 
 // Injector is an armed plan: the scheduled events plus the counters
-// they bump as they fire.
+// they bump as they fire. Counters are atomic because on a sharded
+// cluster the two wire directions' filters (and their window events)
+// run on different shards concurrently; the totals are still
+// deterministic — the same frames are dropped either way.
 type Injector struct {
 	plan *Plan
 	tg   Targets
 
 	c2s, s2c *dirState
 
-	eventsFired     uint64
-	linkTransitions uint64
-	lossDrops       uint64
-	burstDrops      uint64
-	corruptDrops    uint64
-	degrades        uint64
-	stalls          uint64
+	eventsFired     atomic.Uint64
+	linkTransitions atomic.Uint64
+	lossDrops       atomic.Uint64
+	burstDrops      atomic.Uint64
+	corruptDrops    atomic.Uint64
+	degrades        atomic.Uint64
+	stalls          atomic.Uint64
+}
+
+// engFor picks the engine owning a wire direction's sending side.
+func (tg Targets) engFor(d Dir) *sim.Engine {
+	if d == ClientToServer && tg.ClientEngine != nil {
+		return tg.ClientEngine
+	}
+	return tg.Engine
 }
 
 // Arm validates the plan and schedules every event on the engine,
@@ -287,23 +305,28 @@ func Arm(plan *Plan, tg Targets) (*Injector, error) {
 			tg.Engine.After(ev.At, func() { inj.setLink(ev.PF, false) })
 			tg.Engine.After(ev.At+ev.Duration, func() { inj.setLink(ev.PF, true) })
 		case Loss:
+			// Window flips run on the engine whose shard reads the state
+			// (the direction's sending side).
+			eng := tg.engFor(ev.Dir)
 			ds := inj.dir(ev.Dir, root)
 			p := ev.Prob
-			tg.Engine.After(ev.At, func() { inj.eventsFired++; ds.lossProb = p })
-			tg.Engine.After(ev.At+ev.Duration, func() { ds.lossProb = 0 })
+			eng.After(ev.At, func() { inj.eventsFired.Add(1); ds.lossProb = p })
+			eng.After(ev.At+ev.Duration, func() { ds.lossProb = 0 })
 		case Corrupt:
+			eng := tg.engFor(ev.Dir)
 			ds := inj.dir(ev.Dir, root)
 			p := ev.Prob
-			tg.Engine.After(ev.At, func() { inj.eventsFired++; ds.corruptProb = p })
-			tg.Engine.After(ev.At+ev.Duration, func() { ds.corruptProb = 0 })
+			eng.After(ev.At, func() { inj.eventsFired.Add(1); ds.corruptProb = p })
+			eng.After(ev.At+ev.Duration, func() { ds.corruptProb = 0 })
 		case Burst:
+			eng := tg.engFor(ev.Dir)
 			ds := inj.dir(ev.Dir, root)
-			tg.Engine.After(ev.At, func() { inj.eventsFired++; ds.burst = true })
-			tg.Engine.After(ev.At+ev.Duration, func() { ds.burst = false })
+			eng.After(ev.At, func() { inj.eventsFired.Add(1); ds.burst = true })
+			eng.After(ev.At+ev.Duration, func() { ds.burst = false })
 		case Degrade:
 			tg.Engine.After(ev.At, func() {
-				inj.eventsFired++
-				inj.degrades++
+				inj.eventsFired.Add(1)
+				inj.degrades.Add(1)
 				tg.Fabric.Degrade(ev.From, ev.To, ev.BWFactor, ev.LatFactor)
 			})
 			tg.Engine.After(ev.At+ev.Duration, func() {
@@ -311,8 +334,8 @@ func Arm(plan *Plan, tg Targets) (*Injector, error) {
 			})
 		case Stall:
 			tg.Engine.After(ev.At, func() {
-				inj.eventsFired++
-				inj.stalls++
+				inj.eventsFired.Add(1)
+				inj.stalls.Add(1)
 				tg.Kernel.Core(ev.Core).Stall(ev.Duration)
 			})
 		}
@@ -322,8 +345,8 @@ func Arm(plan *Plan, tg Targets) (*Injector, error) {
 
 // setLink flips a PF's link and counts the transition.
 func (inj *Injector) setLink(pf int, up bool) {
-	inj.eventsFired++
-	inj.linkTransitions++
+	inj.eventsFired.Add(1)
+	inj.linkTransitions.Add(1)
 	inj.tg.NIC.SetPFLink(pf, up)
 }
 
@@ -348,21 +371,21 @@ func (inj *Injector) dir(d Dir, root *sim.RNG) *dirState {
 }
 
 // EventsFired returns fault activations so far.
-func (inj *Injector) EventsFired() uint64 { return inj.eventsFired }
+func (inj *Injector) EventsFired() uint64 { return inj.eventsFired.Load() }
 
 // LossDrops returns frames dropped by probabilistic loss windows.
-func (inj *Injector) LossDrops() uint64 { return inj.lossDrops }
+func (inj *Injector) LossDrops() uint64 { return inj.lossDrops.Load() }
 
 // BurstDrops returns frames dropped by burst windows.
-func (inj *Injector) BurstDrops() uint64 { return inj.burstDrops }
+func (inj *Injector) BurstDrops() uint64 { return inj.burstDrops.Load() }
 
 // CorruptDrops returns frames discarded as corrupted.
-func (inj *Injector) CorruptDrops() uint64 { return inj.corruptDrops }
+func (inj *Injector) CorruptDrops() uint64 { return inj.corruptDrops.Load() }
 
 // LinkTransitions returns PF link state flips performed.
-func (inj *Injector) LinkTransitions() uint64 { return inj.linkTransitions }
+func (inj *Injector) LinkTransitions() uint64 { return inj.linkTransitions.Load() }
 
 // TotalWireDrops returns every frame the injector removed from a wire.
 func (inj *Injector) TotalWireDrops() uint64 {
-	return inj.lossDrops + inj.burstDrops + inj.corruptDrops
+	return inj.lossDrops.Load() + inj.burstDrops.Load() + inj.corruptDrops.Load()
 }

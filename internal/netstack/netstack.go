@@ -9,8 +9,11 @@
 // the granularity at which the paper's evaluation reasons — while all
 // memory, PCIe and interconnect traffic flows through the hardware
 // models underneath. Connection setup (handshake/ARP) is control-plane
-// work the paper never measures and is performed instantaneously; the
-// data path is fully simulated.
+// work the paper never measures; it is modelled as a fixed-latency
+// SYN/SYN-ACK round trip (Params.ConnectLatency each way) that blocks
+// the dialing thread, and the data path is fully simulated. Keeping
+// setup and teardown on timestamped events also gives the sharded
+// engine (sim.Group) a latency floor for every cross-host interaction.
 package netstack
 
 import (
@@ -21,6 +24,7 @@ import (
 	"ioctopus/internal/kernel"
 	"ioctopus/internal/memsys"
 	"ioctopus/internal/nic"
+	"ioctopus/internal/sim"
 	"ioctopus/internal/topology"
 )
 
@@ -41,6 +45,12 @@ type Params struct {
 	UDPPerPacket time.Duration
 	// AckLatency approximates the ACK round trip for window opening.
 	AckLatency time.Duration
+	// ConnectLatency is the one-way control-plane delay of connection
+	// setup and teardown (SYN, SYN-ACK, FIN). Dial blocks the calling
+	// thread for one round trip. Together with AckLatency it bounds how
+	// soon one host's stack can disturb the other, which the sharded
+	// engine uses as conservative lookahead.
+	ConnectLatency time.Duration
 	// SendWindow bounds unacknowledged in-flight bytes per socket.
 	SendWindow int64
 	// RxBufBytes bounds undelivered payload per socket (the receive
@@ -75,6 +85,7 @@ func DefaultParams() Params {
 		NAPIPerPacket:  180 * time.Nanosecond,
 		UDPPerPacket:   450 * time.Nanosecond,
 		AckLatency:     10 * time.Microsecond,
+		ConnectLatency: 10 * time.Microsecond,
 		SendWindow:     4 << 20,
 		RxBufBytes:     8 << 20,
 		TSO:            64 * 1024,
@@ -219,10 +230,15 @@ func (st *Stack) Listen(port uint16, accept func(s *Socket)) {
 	st.listens[port] = accept
 }
 
-// Dial opens a connection from this host to dstIP:dstPort. The socket
-// pair is created instantly (setup is not on the measured path); the
-// local device is chosen by route, i.e. the device whose wire reaches
-// the destination — with one NIC per host, the only one.
+// Dial opens a connection from this host to dstIP:dstPort and blocks
+// the calling thread for the setup round trip: the SYN reaches the
+// listener after ConnectLatency (creating the remote socket and
+// running the accept callback), and the SYN-ACK completes the pair
+// another ConnectLatency later. Routing, interface and listener checks
+// fail synchronously (the model's control plane is static, so a
+// refused connection needs no round trip). The local device is chosen
+// by route, i.e. the device whose wire reaches the destination — with
+// one NIC per host, the only one.
 func (st *Stack) Dial(t *kernel.Thread, dstIP uint32, dstPort uint16, proto uint8) (*Socket, error) {
 	dstStack, dstDev := st.net.lookup(dstIP)
 	if dstStack == nil {
@@ -233,6 +249,7 @@ func (st *Stack) Dial(t *kernel.Thread, dstIP uint32, dstPort uint16, proto uint
 	}
 	srcDev := st.devs[0]
 	srcIP := st.devIPs[srcDev]
+	srcMAC := srcDev.HWAddr()
 	st.nextPort++
 	ft := eth.FiveTuple{
 		SrcIP: srcIP, DstIP: dstIP,
@@ -244,9 +261,24 @@ func (st *Stack) Dial(t *kernel.Thread, dstIP uint32, dstPort uint16, proto uint
 	if !ok {
 		return nil, fmt.Errorf("netstack %s: connection refused on %d:%d", st.name, dstIP, dstPort)
 	}
-	remote := dstStack.newSocket(ft.Reverse(), dstDev, nil, srcDev.HWAddr())
-	local.peer, remote.peer = remote, local
-	accept(remote)
+	// Each leg runs on the stack that owns the state it mutates: the SYN
+	// executes on the listener's engine, the SYN-ACK back on ours. On a
+	// sharded cluster these are Engine.Post crossings whose latency the
+	// shard group's control link floors.
+	eng := st.k.Engine()
+	dstEng := dstStack.k.Engine()
+	lat := st.params.ConnectLatency
+	done := sim.NewSignal(eng)
+	eng.PostAfter(dstEng, lat, func() {
+		remote := dstStack.newSocket(ft.Reverse(), dstDev, nil, srcMAC)
+		remote.peer = local
+		accept(remote)
+		dstEng.PostAfter(eng, lat, func() {
+			local.peer = remote
+			done.Broadcast()
+		})
+	})
+	t.Wait(done)
 	return local, nil
 }
 

@@ -25,6 +25,7 @@ type Socket struct {
 
 	txq        int
 	seq        uint64
+	closed     bool
 	window     int64
 	inFlight   int64
 	advertised int64 // peer's last advertised receive-buffer space
@@ -399,6 +400,22 @@ func (s *Socket) sendAckEvent(acked int64, seq uint64) {
 	if s.ft.Proto != eth.ProtoTCP || s.peer == nil {
 		return
 	}
+	eng := s.stack.k.Engine()
+	if peng := s.peer.stack.k.Engine(); peng != eng {
+		// Cross-shard peer: the ACK must run on the peer's engine, and
+		// the pooled event record cannot travel (its recycling would race
+		// this shard's free list), so the flight is a one-shot closure.
+		peer, free := s.peer, s.rxq.free()
+		eng.PostAfter(peng, s.stack.params.AckLatency, func() {
+			if seq != 0 {
+				peer.ackSeq(seq)
+			} else {
+				peer.ack(acked)
+			}
+			peer.advertise(free)
+		})
+		return
+	}
 	ev := s.ackFree
 	if ev == nil {
 		ev = &ackEvent{owner: s}
@@ -410,7 +427,7 @@ func (s *Socket) sendAckEvent(acked int64, seq uint64) {
 	ev.acked = acked
 	ev.free = s.rxq.free()
 	ev.seq = seq
-	s.stack.k.Engine().After(s.stack.params.AckLatency, ev.fn)
+	eng.After(s.stack.params.AckLatency, ev.fn)
 }
 
 // TryRecvNoCopy removes a pending segment without charging copy costs
@@ -426,9 +443,16 @@ func (s *Socket) TryRecvNoCopy() (*nic.RxPacket, bool) {
 	return rxp, ok
 }
 
-// Close tears the socket (and its peer's rx queue) down, releasing
-// blocked receivers and retiring the retransmission timer.
+// Close tears the local socket down immediately — releasing blocked
+// receivers and retiring the retransmission timer — and sends the peer
+// a FIN that closes its side after ConnectLatency. The FIN runs on the
+// peer's engine, so teardown is shard-safe; closing twice (or crossing
+// FINs) is a no-op.
 func (s *Socket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	delete(s.stack.sockets, s.ft)
 	s.rxq.close()
 	s.retxDown = true
@@ -436,11 +460,14 @@ func (s *Socket) Close() {
 	if s.retxSig != nil {
 		s.retxSig.Broadcast()
 	}
-	if s.peer != nil {
-		p := s.peer
+	if p := s.peer; p != nil {
 		s.peer = nil
-		p.peer = nil
-		p.Close()
+		s.stack.k.Engine().PostAfter(p.stack.k.Engine(), s.stack.params.ConnectLatency, func() {
+			if p.peer == s {
+				p.peer = nil
+			}
+			p.Close()
+		})
 	}
 }
 

@@ -11,11 +11,18 @@
 // determinism is preserved.
 //
 // The event queue is an inlined value-based 4-ary min-heap ordered by
-// (at, seq): events at the same instant dispatch in FIFO scheduling
-// order. Event records live in a slot arena recycled through a free
-// list, so steady-state scheduling and dispatch allocate nothing;
-// cancellation is lazy (a generation check at pop time) to keep Stop
-// O(1) without disturbing the heap.
+// (at, sub, seq): events at the same instant dispatch in the order they
+// were scheduled — sub is the clock value at the scheduling call and
+// seq breaks the remaining ties in call order. Event records live in a
+// slot arena recycled through a free list, so steady-state scheduling
+// and dispatch allocate nothing; cancellation is lazy (a generation
+// check at pop time) to keep Stop O(1) without disturbing the heap.
+//
+// Engines can also be ganged into a Group (see shard.go) for
+// conservative parallel simulation: each engine becomes one shard
+// running on its own goroutine, exchanging cross-shard events through
+// mailboxes via Post/PostAfter and synchronizing on published clock
+// horizons bounded by link latency.
 package sim
 
 import (
@@ -63,16 +70,25 @@ func (t Time) String() string { return time.Duration(t).String() }
 // (slot, gen) reference that validates it at pop time.
 type heapEntry struct {
 	at   Time
-	seq  uint64 // tie-break: FIFO among events scheduled for the same instant
+	sub  Time   // clock value at the scheduling call (secondary key)
+	seq  uint64 // shard-composed FIFO tie-break among same-(at, sub) events
 	slot int32
 	gen  uint32
 }
 
-// less orders entries by (at, seq). seq strictly increases per schedule,
-// so equal-time events preserve FIFO order.
+// less orders entries by (at, sub, seq). On a single engine sub is
+// redundant — seq strictly increases per schedule and the clock never
+// runs backwards, so (at, seq) alone reproduces scheduling order. The
+// sub key exists for sharded runs: a cross-shard post carries its
+// sender's scheduling time, so merging it into the receiver's heap
+// lands it exactly where the serial engine would have dispatched it
+// relative to events the receiver scheduled earlier or later.
 func (a heapEntry) less(b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.sub != b.sub {
+		return a.sub < b.sub
 	}
 	return a.seq < b.seq
 }
@@ -90,7 +106,7 @@ type eventSlot struct {
 type Engine struct {
 	now      Time
 	seq      uint64
-	events   []heapEntry // 4-ary min-heap on (at, seq)
+	events   []heapEntry // 4-ary min-heap on (at, sub, seq)
 	slots    []eventSlot
 	freeHead int32 // head of the slot free list, -1 when empty
 	live     int   // scheduled and not cancelled
@@ -98,6 +114,17 @@ type Engine struct {
 	stopped  bool
 	procs    map[*Proc]struct{}
 	tracer   *Tracer
+
+	// Sharding state (see shard.go). group is nil on a standalone
+	// engine, which keeps every field below cold: shard is 0, seqBase is
+	// 0 (entry seq keys degenerate to the classic per-engine counter),
+	// and the inbox/clock/hooks are never touched.
+	group     *Group
+	shard     int
+	seqBase   uint64 // shard<<56, folded into every entry's seq key
+	clock     atomicTime
+	inbox     mailbox
+	syncHooks []func()
 
 	// idleAt is the latest completion time of fire-and-forget work
 	// (e.g. Pipe.Transfer with a nil callback). Instead of holding a
@@ -128,6 +155,13 @@ func (e *Engine) At(t Time, fn func()) Timer {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
+	return e.insert(t, e.now, e.seqBase+e.seq, fn)
+}
+
+// insert allocates a slot for fn and pushes a heap entry with the given
+// ordering key. Shared by At (local scheduling) and the mailbox drain
+// (cross-shard posts carrying their sender's key).
+func (e *Engine) insert(t, sub Time, key uint64, fn func()) Timer {
 	slot := e.freeHead
 	if slot >= 0 {
 		e.freeHead = e.slots[slot].next
@@ -137,9 +171,33 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	}
 	s := &e.slots[slot]
 	s.fn = fn
-	e.push(heapEntry{at: t, seq: e.seq, slot: slot, gen: s.gen})
+	e.push(heapEntry{at: t, sub: sub, seq: key, slot: slot, gen: s.gen})
 	e.live++
 	return Timer{eng: e, at: t, slot: slot, gen: s.gen}
+}
+
+// Post schedules fn at absolute time t on engine dst. With dst == e (or
+// two engines driven from one goroutine) this is exactly At; when both
+// engines are shards of one running Group the event crosses through
+// dst's mailbox carrying this engine's scheduling key, so the receiver
+// merges it into its heap in the order the serial engine would have
+// used. The caller must respect the group's link floors: t must be at
+// least the registered floor past this shard's published clock.
+func (e *Engine) Post(dst *Engine, t Time, fn func()) {
+	if dst == e || e.group == nil || dst.group != e.group {
+		dst.At(t, fn)
+		return
+	}
+	e.seq++
+	dst.inbox.put(xpost{at: t, sub: e.now, seq: e.seqBase + e.seq, fn: fn})
+}
+
+// PostAfter schedules fn on dst at d past this engine's current time.
+func (e *Engine) PostAfter(dst *Engine, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Post(dst, e.now.Add(d), fn)
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -290,6 +348,9 @@ func (e *Engine) Run(until Time) {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
+	if e.group != nil {
+		panic("sim: Run called on a grouped engine; drive the shard group instead")
+	}
 	e.running = true
 	e.stopped = false
 	defer func() { e.running = false }()
@@ -314,6 +375,9 @@ func (e *Engine) RunFor(d time.Duration) { e.Run(e.now.Add(d)) }
 func (e *Engine) RunUntilIdle() {
 	if e.running {
 		panic("sim: Run called reentrantly")
+	}
+	if e.group != nil {
+		panic("sim: RunUntilIdle called on a grouped engine; drive the shard group instead")
 	}
 	e.running = true
 	e.stopped = false
@@ -348,4 +412,35 @@ func (e *Engine) Drain() {
 		p.kill()
 	}
 	e.procs = make(map[*Proc]struct{})
+}
+
+// ShardGroup returns the Group this engine belongs to, nil for a
+// standalone (serial) engine.
+func (e *Engine) ShardGroup() *Group { return e.group }
+
+// Shard returns this engine's index within its group (0 when serial).
+func (e *Engine) Shard() int { return e.shard }
+
+// OnShardSync registers fn to run on every shard-sync barrier (the end
+// of each Group.Run window, on the caller's goroutine). Subsystems that
+// defer cross-shard bookkeeping — e.g. frame pools reclaiming frames
+// whose delivery copy crossed to another shard — flush it here so
+// metrics snapshots taken between windows match the serial engine
+// exactly. No-op scheduling on a standalone engine: the hook is simply
+// never called.
+func (e *Engine) OnShardSync(fn func()) { e.syncHooks = append(e.syncHooks, fn) }
+
+// ArenaSlots returns the total size of the event slot arena, and
+// FreeSlots the length of its free list. live == ArenaSlots-FreeSlots
+// is the number of scheduled, uncancelled events; regression tests use
+// the pair to prove that lazily-cancelled timers do not leak slots.
+func (e *Engine) ArenaSlots() int { return len(e.slots) }
+
+// FreeSlots returns the current length of the slot free list.
+func (e *Engine) FreeSlots() int {
+	n := 0
+	for s := e.freeHead; s >= 0; s = e.slots[s].next {
+		n++
+	}
+	return n
 }

@@ -341,3 +341,35 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestTimerSlotReclaim: under heavy arm/cancel churn every event slot
+// returns to the free list once the engine runs idle — stopped timers
+// are lazily reclaimed when their heap entry surfaces, fired ones
+// immediately, and neither path leaks arena slots.
+func TestTimerSlotReclaim(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for round := 0; round < 50; round++ {
+		timers := make([]Timer, 0, 40)
+		for i := 0; i < 40; i++ {
+			timers = append(timers, e.After(time.Duration(i+1)*Microsecond, func() { fired++ }))
+		}
+		// Cancel every other timer, some twice (double Stop must be a
+		// no-op, not a double free).
+		for i := 0; i < len(timers); i += 2 {
+			if !timers[i].Stop() {
+				t.Fatalf("round %d: live timer %d refused to stop", round, i)
+			}
+			if timers[i].Stop() {
+				t.Fatal("second Stop on a dead timer reported success")
+			}
+		}
+		e.RunUntilIdle()
+	}
+	if fired != 50*20 {
+		t.Fatalf("%d timers fired, want %d", fired, 50*20)
+	}
+	if free, total := e.FreeSlots(), e.ArenaSlots(); free != total {
+		t.Fatalf("slot leak: %d of %d arena slots free after idle", free, total)
+	}
+}

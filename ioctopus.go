@@ -255,3 +255,13 @@ func SetParallelism(n int) { experiments.SetParallelism(n) }
 
 // Parallelism returns the current harness parallelism bound.
 func Parallelism() int { return experiments.Parallelism() }
+
+// SetShards sets how many engine shards every cluster the harness
+// builds runs on: 1 is the serial engine, 2 puts each host of the
+// testbed on its own goroutine with conservative link-latency
+// synchronization. Results are byte-identical at any value; shard
+// counts above the host count clamp.
+func SetShards(n int) { experiments.SetShards(n) }
+
+// Shards returns the per-cluster engine shard count.
+func Shards() int { return experiments.Shards() }
