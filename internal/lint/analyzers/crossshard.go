@@ -1,0 +1,215 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ioctopus/internal/lint"
+)
+
+// CrossShard enforces the sharded engine's scheduling discipline. The
+// conservative parallel engine (internal/sim/shard.go) is only correct
+// if events cross shard boundaries through mailboxes: Engine.Post /
+// PostAfter carry the sender's (at, sub, seq) key and respect link
+// floors, while a direct At/After/Go on another shard's engine mutates
+// its heap from the wrong goroutine — a race the runtime only catches
+// when the "cross-shard post arrived in the past" panic happens to
+// fire. Statically:
+//
+//   - fields and vars that hold references across the shard cut (a peer
+//     socket, a pipe's remote engine) are marked with an
+//     "octolint:crossshard-boundary" comment; any *sim.Engine reached
+//     through a marked hop — directly or via a local variable — is
+//     foreign, and scheduling on it (At, After, Go) is an error;
+//   - fields marked "octolint:shard-shared" must be atomic
+//     (sync/atomic) or mutex-guarded types; plain-typed marked fields
+//     may only be accessed as arguments to sync/atomic calls.
+var CrossShard = &lint.Analyzer{
+	Name: "crossshard",
+	Doc:  "cross-shard scheduling must use Post/PostAfter mailboxes; shard-shared fields must be atomic",
+	Run:  runCrossShard,
+}
+
+const simPkg = "ioctopus/internal/sim"
+
+// schedulingMethods mutate the receiving engine's heap and therefore
+// must only ever run on the engine's own shard goroutine.
+var schedulingMethods = map[string]bool{"At": true, "After": true, "Go": true}
+
+func runCrossShard(pass *lint.Pass) error {
+	boundary := markedObjects(pass, markerBoundary)
+	shared := markedObjects(pass, markerShardShared)
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		checkForeignScheduling(pass, fd.Body, boundary)
+	})
+	checkSharedFields(pass, shared)
+	return nil
+}
+
+// isEngine reports whether t is *sim.Engine (or sim.Engine).
+func isEngine(t types.Type) bool { return lint.IsNamedType(t, simPkg, "Engine") }
+
+// checkForeignScheduling flags At/After/Go calls on engines reached
+// through a boundary hop. Taint flows through local assignments in
+// source order: `peng := p.stack.Engine()` with p marked taints peng.
+func checkForeignScheduling(pass *lint.Pass, body *ast.BlockStmt, boundary map[types.Object]bool) {
+	if len(boundary) == 0 {
+		return
+	}
+	tainted := map[types.Object]bool{}
+	crossesBoundary := func(expr ast.Expr) bool {
+		found := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && boundary[sel.Obj()] {
+					found = true
+					return false
+				}
+			case *ast.Ident:
+				if obj := pass.Info.Uses[n]; obj != nil && (boundary[obj] || tainted[obj]) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate taint into locals bound from boundary-crossing
+			// expressions (handles both := and =; one RHS per LHS or a
+			// single multi-value RHS tainting every LHS).
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objectOf(pass, id)
+				if obj == nil {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if crossesBoundary(rhs) {
+					tainted[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !schedulingMethods[sel.Sel.Name] {
+				return true
+			}
+			obj := lint.CalleeObject(pass.Info, n)
+			if !lint.MethodOn(obj, simPkg, "Engine", sel.Sel.Name) {
+				return true
+			}
+			if crossesBoundary(sel.X) {
+				pass.Reportf(n.Pos(), "%s on an engine reached through a crossshard-boundary reference mutates another shard's heap; use Post/PostAfter", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkSharedFields validates octolint:shard-shared declarations: the
+// type must be atomic or mutex-guarded; if it is a plain type, every
+// access must go through sync/atomic.
+func checkSharedFields(pass *lint.Pass, shared map[types.Object]bool) {
+	if len(shared) == 0 {
+		return
+	}
+	plain := map[types.Object]bool{}
+	//octolint:allow simdeterminism pure predicate filtering a set into a set; no order can escape
+	for obj := range shared {
+		if !concurrencySafeType(obj.Type(), 2) {
+			plain[obj] = true
+		}
+	}
+	if len(plain) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Accesses inside atomic.XxxInt64(&x.f, ...) calls are the
+			// sanctioned pattern for plain shard-shared fields.
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn, ok := lint.CalleeObject(pass.Info, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+					return false
+				}
+			}
+			// A selector access resolves through Uses on its Sel ident,
+			// so one Ident case covers both n.misses and bare vars.
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && plain[obj] {
+					pass.Reportf(id.Pos(), "shard-shared %s has a non-atomic type and is accessed outside sync/atomic; make it atomic.%s-typed or wrap the access", id.Name, suggestAtomic(obj.Type()))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// concurrencySafeType reports whether t is safe to share between shard
+// goroutines by construction: a sync/atomic type, a sync mutex, or a
+// named struct composed of such (the mailbox/atomicTime pattern — a
+// struct with a mutex guards its plain fields).
+func concurrencySafeType(t types.Type, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	// A pointer to a safe type is shareable; the pointee synchronizes.
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync/atomic":
+				return true
+			case "sync":
+				return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+			}
+		}
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return false
+	}
+	allSafe := st.NumFields() > 0
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if lint.IsNamedType(ft, "sync", "Mutex") || lint.IsNamedType(ft, "sync", "RWMutex") {
+			return true // a mutex inside the struct guards its siblings
+		}
+		if !concurrencySafeType(ft, depth-1) {
+			allSafe = false
+		}
+	}
+	return allSafe
+}
+
+// suggestAtomic names the atomic wrapper matching the field's type, for
+// the diagnostic text.
+func suggestAtomic(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Uint32:
+			return "Int32"
+		case types.Bool:
+			return "Bool"
+		case types.Uint64:
+			return "Uint64"
+		}
+	}
+	return "Int64"
+}

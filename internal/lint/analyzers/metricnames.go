@@ -1,0 +1,158 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ioctopus/internal/lint"
+)
+
+// MetricNames validates metric registration sites
+// (internal/metrics.Registrar: Counter, Gauge, Scope). Names become
+// the '/'-namespaced keys of the JSON report schema, so they must be
+// compile-time constants — either a constant string or fmt.Sprintf
+// with a constant format — lowercase, and composed of [a-z0-9_]
+// segments separated by '/'. Statically identical registrations on the
+// same registrar within one function are reported as duplicates,
+// front-running the registry's "duplicate metric" panic, which
+// otherwise only fires for wirings a test happens to assemble.
+var MetricNames = &lint.Analyzer{
+	Name: "metricnames",
+	Doc:  "metric names must be constant, lowercase, '/'-namespaced, and not duplicated",
+	Run:  runMetricNames,
+}
+
+const metricsPkg = "ioctopus/internal/metrics"
+
+// registrarMethods take a metric (or scope) name as their first
+// argument.
+var registrarMethods = map[string]bool{"Counter": true, "Gauge": true, "Scope": true}
+
+// metricSegment is one '/'-separated component of a metric name after
+// Sprintf verbs are substituted out.
+var metricSegment = regexp.MustCompile(`^[a-z0-9_]+$`)
+
+// sprintfVerb matches the printf verbs that may appear in dynamic
+// scope names ("pf%d", "link%dto%d").
+var sprintfVerb = regexp.MustCompile(`%[-+ #0]*[0-9*]*(\.[0-9*]+)?[a-zA-Z]`)
+
+func runMetricNames(pass *lint.Pass) error {
+	type regKey struct {
+		recv string // receiver expression, printed
+		name string
+		kind string // Counter/Gauge vs Scope namespaces are disjoint
+	}
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		seen := map[regKey]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registrarMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isRegistrarMethod(pass, call, sel.Sel.Name) {
+				return true
+			}
+			arg := call.Args[0]
+			name, constant := lint.ConstString(pass.Info, arg)
+			if !constant {
+				var viaSprintf bool
+				name, viaSprintf = sprintfConstFormat(pass, arg)
+				if !viaSprintf {
+					pass.Reportf(arg.Pos(), "metric %s name must be a constant string (or fmt.Sprintf of one); dynamic names defeat static duplicate checking and stable report keys", sel.Sel.Name)
+					return true
+				}
+				name = sprintfVerb.ReplaceAllString(name, "0")
+			}
+			if !validMetricName(name) {
+				pass.Reportf(arg.Pos(), "metric name %q must be lowercase [a-z0-9_] segments separated by '/'", name)
+				return true
+			}
+			kind := "metric"
+			if sel.Sel.Name == "Scope" {
+				kind = "scope"
+			}
+			key := regKey{recv: exprString(pass, sel.X), name: name, kind: kind}
+			if kind == "metric" && seen[key] {
+				pass.Reportf(arg.Pos(), "metric %q registered twice on %s in this function; the registry panics on duplicates", name, key.recv)
+			}
+			seen[key] = true
+			return true
+		})
+	})
+	return nil
+}
+
+// isRegistrarMethod reports whether the call resolves to a method of
+// the internal/metrics registrar surface (the Registrar interface, the
+// *Registry root, or its scope type).
+func isRegistrarMethod(pass *lint.Pass, call *ast.CallExpr, name string) bool {
+	obj := lint.CalleeObject(pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// sprintfConstFormat matches fmt.Sprintf(constFormat, ...) and returns
+// the format string.
+func sprintfConstFormat(pass *lint.Pass, expr ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	if !lint.IsPkgFunc(lint.CalleeObject(pass.Info, call), "fmt", "Sprintf") {
+		return "", false
+	}
+	return lint.ConstString(pass.Info, call.Args[0])
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if !metricSegment.MatchString(seg) {
+			return false
+		}
+	}
+	return true
+}
+
+// exprString renders a (short) expression for use in a diagnostic and
+// as a duplicate-detection key.
+func exprString(pass *lint.Pass, expr ast.Expr) string {
+	start := pass.Fset.Position(expr.Pos())
+	end := pass.Fset.Position(expr.End())
+	if start.Filename != end.Filename || start.Line != end.Line {
+		return "<registrar>"
+	}
+	var sb strings.Builder
+	printExpr(&sb, expr)
+	return sb.String()
+}
+
+// printExpr is a minimal expression printer covering the receiver
+// shapes registrars take (identifiers, selector chains, calls).
+func printExpr(sb *strings.Builder, expr ast.Expr) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		sb.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		printExpr(sb, e.X)
+		sb.WriteByte('.')
+		sb.WriteString(e.Sel.Name)
+	case *ast.CallExpr:
+		printExpr(sb, e.Fun)
+		sb.WriteString("(…)")
+	default:
+		sb.WriteString("<expr>")
+	}
+}

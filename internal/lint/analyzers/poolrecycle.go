@@ -1,0 +1,532 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ioctopus/internal/lint"
+)
+
+// PoolRecycle is a flow-sensitive intra-procedural check of the packet
+// pool lease discipline (internal/nic/pool.go, internal/eth's
+// FramePool): a leased *nic.TxPacket, *nic.RxPacket or *eth.Frame must
+// be recycled exactly once and not touched afterwards, or its
+// ownership must be transferred (passed to a callee, stored into a
+// structure, returned, captured). It front-runs the pool's runtime
+// "recycled twice" panics and the leak class the pool/{rx,tx,frame}
+// live gauges only reveal after a run. Reported:
+//
+//   - recycle when the lease may already be recycled (double recycle);
+//   - any use of a lease after a path recycled it;
+//   - a lease acquired in a function that on some fall-through path is
+//     neither recycled nor transferred (a live-count leak).
+//
+// The analysis is deliberately conservative: passing a lease anywhere
+// (argument, field store, closure capture, channel, return) counts as
+// an ownership transfer and ends tracking on that alias.
+var PoolRecycle = &lint.Analyzer{
+	Name: "poolrecycle",
+	Doc:  "pooled packet leases must be recycled exactly once or explicitly transferred",
+	Run:  runPoolRecycle,
+}
+
+// Lease state bits. Merging control-flow paths unions the bits; a
+// definite fact is a single-bit state.
+type pstate uint8
+
+const (
+	psLive pstate = 1 << iota
+	psRecycled
+	psMoved
+)
+
+// acquireFuncs name the pool entry points that hand out a fresh lease
+// as their single result.
+var acquireFuncs = map[string]bool{"LeaseTxPacket": true, "Lease": true, "Get": true, "get": true}
+
+// acquireBatchFuncs return a slice of leases; ranging over a direct
+// call makes the range value a fresh per-iteration lease.
+var acquireBatchFuncs = map[string]bool{"Poll": true, "Reap": true}
+
+// recycleMethods release a lease back to its pool, by tracked type
+// name.
+var recycleMethods = map[string]string{"TxPacket": "Recycle", "RxPacket": "Recycle", "Frame": "Release"}
+
+func runPoolRecycle(pass *lint.Pass) error {
+	pr := &poolPass{pass: pass, seen: map[string]bool{}}
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		pr.checkFunc(fd.Body)
+		// Function literals get the same treatment as their enclosing
+		// function, independently: a lease acquired inside a callback
+		// must be settled inside it (captures of outer leases were
+		// already treated as transfers by the outer walk).
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				pr.checkFunc(fl.Body)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+type poolPass struct {
+	pass *lint.Pass
+	seen map[string]bool // dedup across the loop double-walk
+	// per-function state
+	state    map[types.Object]pstate
+	acquired map[types.Object]token.Pos
+	deferred map[types.Object]bool
+}
+
+func (pr *poolPass) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := pr.pass.Fset.Position(pos).String() + msg
+	if pr.seen[key] {
+		return
+	}
+	pr.seen[key] = true
+	pr.pass.Reportf(pos, "%s", msg)
+}
+
+// tracked reports whether t is a pointer to one of the pooled packet
+// types, returning the type name.
+func tracked(t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	for _, tn := range []struct{ pkg, name string }{
+		{"ioctopus/internal/nic", "TxPacket"},
+		{"ioctopus/internal/nic", "RxPacket"},
+		{"ioctopus/internal/eth", "Frame"},
+	} {
+		if lint.IsNamedType(ptr.Elem(), tn.pkg, tn.name) {
+			return tn.name, true
+		}
+	}
+	return "", false
+}
+
+func (pr *poolPass) checkFunc(body *ast.BlockStmt) {
+	pr.state = map[types.Object]pstate{}
+	pr.acquired = map[types.Object]token.Pos{}
+	pr.deferred = map[types.Object]bool{}
+	st := pr.walkStmts(body.List, pr.state)
+	if st != nil {
+		pr.leakCheck(st, body.End())
+	}
+}
+
+func clone(st map[types.Object]pstate) map[types.Object]pstate {
+	c := make(map[types.Object]pstate, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions path states; a nil state (path ended in return) is the
+// identity.
+func merge(a, b map[types.Object]pstate) map[types.Object]pstate {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for k, v := range b {
+		a[k] |= v
+	}
+	return a
+}
+
+// leakCheck reports leases that are definitely still live — never
+// recycled, never transferred on any path — when control leaves the
+// function.
+func (pr *poolPass) leakCheck(st map[types.Object]pstate, pos token.Pos) {
+	//octolint:allow simdeterminism reports are deduplicated by position and sorted before output
+	for obj, s := range st {
+		if s == psLive && !pr.deferred[obj] {
+			at := pr.acquired[obj]
+			if !at.IsValid() {
+				at = pos
+			}
+			pr.reportf(at, "lease %q escapes without Recycle or an ownership transfer (pool live count leaks)", obj.Name())
+		}
+	}
+}
+
+// trackedIdent resolves expr to a tracked lease variable currently in
+// the state map.
+func (pr *poolPass) trackedIdent(st map[types.Object]pstate, expr ast.Expr) (types.Object, bool) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := objectOf(pr.pass, id)
+	if obj == nil {
+		return nil, false
+	}
+	_, ok = st[obj]
+	return obj, ok
+}
+
+// moveIdents transfers ownership of every tracked lease mentioned in n.
+func (pr *poolPass) moveIdents(st map[types.Object]pstate, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := pr.pass.Info.Uses[id]; obj != nil {
+				if _, tracked := st[obj]; tracked {
+					st[obj] = st[obj]&^psLive | psMoved
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanExpr checks uses (use-after-recycle) and applies transfer
+// semantics: a tracked ident inside a call argument, composite
+// literal, address-of, or function literal loses its lease.
+func (pr *poolPass) scanExpr(st map[types.Object]pstate, expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pr.moveIdents(st, n.Body)
+			return false
+		case *ast.CallExpr:
+			pr.scanExpr(st, n.Fun)
+			for _, arg := range n.Args {
+				pr.useCheck(st, arg)
+				pr.moveIdents(st, arg)
+			}
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				pr.useCheck(st, elt)
+				pr.moveIdents(st, elt)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				pr.useCheck(st, n.X)
+				pr.moveIdents(st, n.X)
+				return false
+			}
+		case *ast.Ident:
+			pr.useCheck(st, n)
+		}
+		return true
+	})
+}
+
+// useCheck reports mentions of leases that some path has recycled.
+func (pr *poolPass) useCheck(st map[types.Object]pstate, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pr.pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		s, isTracked := st[obj]
+		if !isTracked || s&psRecycled == 0 {
+			return true
+		}
+		if s == psRecycled {
+			pr.reportf(id.Pos(), "lease %q used after Recycle; the pool may already have re-leased it", id.Name)
+		} else {
+			pr.reportf(id.Pos(), "lease %q may be used after Recycle (recycled on one path through this function)", id.Name)
+		}
+		return true
+	})
+}
+
+// recycleCall matches v.Recycle() / v.Release() on a tracked lease.
+func (pr *poolPass) recycleCall(st map[types.Object]pstate, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := pr.trackedIdent(st, sel.X)
+	if !ok {
+		return nil, false
+	}
+	name, _ := tracked(obj.Type())
+	if recycleMethods[name] != sel.Sel.Name {
+		return nil, false
+	}
+	return obj, true
+}
+
+// acquireCall matches a call whose single result is a fresh lease.
+func (pr *poolPass) acquireCall(call *ast.CallExpr) bool {
+	obj := lint.CalleeObject(pr.pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || !acquireFuncs[fn.Name()] {
+		return false
+	}
+	tv, ok := pr.pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	_, isTracked := tracked(tv.Type)
+	return isTracked
+}
+
+// walkStmts interprets a statement list, returning the exit state (nil
+// when every path returns).
+func (pr *poolPass) walkStmts(stmts []ast.Stmt, st map[types.Object]pstate) map[types.Object]pstate {
+	for _, s := range stmts {
+		st = pr.walkStmt(s, st)
+		if st == nil {
+			return nil
+		}
+	}
+	return st
+}
+
+func (pr *poolPass) walkStmt(s ast.Stmt, st map[types.Object]pstate) map[types.Object]pstate {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if obj, ok := pr.recycleCall(st, call); ok {
+				if st[obj]&psRecycled != 0 {
+					pr.reportf(call.Pos(), "lease %q recycled twice (the pool panics on double recycle)", obj.Name())
+				}
+				st[obj] = psRecycled
+				return st
+			}
+		}
+		pr.scanExpr(st, s.X)
+		return st
+	case *ast.AssignStmt:
+		return pr.walkAssign(s, st)
+	case *ast.DeferStmt:
+		if obj, ok := pr.recycleCall(st, s.Call); ok {
+			if pr.deferred[obj] {
+				pr.reportf(s.Pos(), "lease %q recycled twice via defer", obj.Name())
+			}
+			pr.deferred[obj] = true
+			return st
+		}
+		pr.scanExpr(st, s.Call)
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			pr.useCheck(st, r)
+			pr.moveIdents(st, r)
+		}
+		pr.leakCheck(st, s.Pos())
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = pr.walkStmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		pr.scanExpr(st, s.Cond)
+		then := pr.walkStmts(s.Body.List, clone(st))
+		var els map[types.Object]pstate = st
+		if s.Else != nil {
+			els = pr.walkStmt(s.Else, clone(st))
+		}
+		return merge(then, els)
+	case *ast.BlockStmt:
+		return pr.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = pr.walkStmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		pr.scanExpr(st, s.Cond)
+		// Two passes so second-iteration facts (use after a recycle at
+		// the end of the body) are seen; reports dedup.
+		once := pr.walkStmts(s.Body.List, clone(st))
+		if s.Post != nil && once != nil {
+			once = pr.walkStmt(s.Post, once)
+		}
+		again := pr.walkStmts(s.Body.List, merge(clone(st), once))
+		return merge(st, again)
+	case *ast.RangeStmt:
+		return pr.walkRange(s, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return pr.walkSwitch(s, st)
+	case *ast.SelectStmt, *ast.GoStmt:
+		// Concurrency hand-off: everything mentioned escapes.
+		pr.moveIdents(st, s)
+		return st
+	case *ast.SendStmt:
+		pr.useCheck(st, s.Value)
+		pr.moveIdents(st, s.Value)
+		pr.scanExpr(st, s.Chan)
+		return st
+	case *ast.IncDecStmt:
+		pr.scanExpr(st, s.X)
+		return st
+	case *ast.LabeledStmt:
+		return pr.walkStmt(s.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						pr.scanExpr(st, v)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return st
+	}
+	// Unknown statement kinds: scan conservatively.
+	pr.useCheck(st, s)
+	pr.moveIdents(st, s)
+	return st
+}
+
+func (pr *poolPass) walkAssign(s *ast.AssignStmt, st map[types.Object]pstate) map[types.Object]pstate {
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		lid, lhsIsIdent := ast.Unparen(lhs).(*ast.Ident)
+		if rhs != nil {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && pr.acquireCall(call) && lhsIsIdent && len(s.Rhs) == len(s.Lhs) {
+				// Fresh lease bound to a variable.
+				pr.scanExpr(st, call)
+				if obj := objectOf(pr.pass, lid); obj != nil {
+					if old, ok := st[obj]; ok && old == psLive {
+						pr.reportf(s.Pos(), "lease %q overwritten while still live (pool live count leaks)", lid.Name)
+					}
+					st[obj] = psLive
+					pr.acquired[obj] = s.Pos()
+				}
+				continue
+			}
+			if obj, ok := pr.trackedIdent(st, rhs); ok && len(s.Rhs) == len(s.Lhs) {
+				pr.useCheck(st, rhs)
+				if lhsIsIdent && lid.Name != "_" {
+					// Alias: the new name carries the lease onward.
+					if nobj := objectOf(pr.pass, lid); nobj != nil {
+						st[nobj] = st[obj]
+						pr.acquired[nobj] = pr.acquired[obj]
+					}
+				}
+				st[obj] = st[obj]&^psLive | psMoved
+				continue
+			}
+			pr.scanExpr(st, rhs)
+		}
+		if !lhsIsIdent {
+			// Store target expression itself (index/selector receivers).
+			pr.scanExpr(st, lhs)
+		}
+	}
+	return st
+}
+
+// walkRange handles range statements; ranging over a Poll/Reap batch
+// makes the value variable a fresh lease each iteration that must be
+// settled within the body.
+func (pr *poolPass) walkRange(s *ast.RangeStmt, st map[types.Object]pstate) map[types.Object]pstate {
+	var perIter types.Object
+	if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+		if fn, ok := lint.CalleeObject(pr.pass.Info, call).(*types.Func); ok && acquireBatchFuncs[fn.Name()] {
+			if tv, ok := pr.pass.Info.Types[s.X]; ok {
+				if sl, ok := tv.Type.Underlying().(*types.Slice); ok {
+					if _, isTracked := tracked(sl.Elem()); isTracked {
+						if vid, ok := s.Value.(*ast.Ident); ok && vid.Name != "_" {
+							perIter = objectOf(pr.pass, vid)
+						}
+					}
+				}
+			}
+		}
+	}
+	pr.scanExpr(st, s.X)
+	entry := clone(st)
+	if perIter != nil {
+		entry[perIter] = psLive
+		pr.acquired[perIter] = s.Pos()
+	}
+	exit := pr.walkStmts(s.Body.List, entry)
+	if exit != nil && perIter != nil {
+		if exit[perIter] == psLive {
+			pr.reportf(s.Pos(), "per-iteration lease %q is not recycled or transferred by the loop body (pool live count leaks)", perIter.Name())
+		}
+		delete(exit, perIter)
+	}
+	// Second pass for wraparound facts on outer leases.
+	exit2 := pr.walkStmts(s.Body.List, merge(clone(st), exit))
+	if perIter != nil && exit2 != nil {
+		delete(exit2, perIter)
+	}
+	return merge(st, exit2)
+}
+
+func (pr *poolPass) walkSwitch(s ast.Stmt, st map[types.Object]pstate) map[types.Object]pstate {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = pr.walkStmt(s.Init, st)
+		}
+		if st == nil {
+			return nil
+		}
+		pr.scanExpr(st, s.Tag)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = pr.walkStmt(s.Init, st)
+		}
+		if st == nil {
+			return nil
+		}
+		body = s.Body
+	}
+	var out map[types.Object]pstate
+	for _, cc := range body.List {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		for _, e := range clause.List {
+			pr.scanExpr(st, e)
+		}
+		out = merge(out, pr.walkStmts(clause.Body, clone(st)))
+	}
+	if !hasDefault {
+		out = merge(out, st)
+	}
+	if out == nil {
+		return st
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ioctopus/internal/lint"
+)
+
+// Shadow is a reduced-scope port of x/tools' vet "shadow" analyzer
+// (which this module deliberately does not depend on): it reports an
+// inner declaration of a name that shadows an outer variable of the
+// same function when the outer variable is still used after the inner
+// scope ends — the pattern where a write to the inner variable was
+// probably meant for the outer one. Idiomatic reuse of err/ok and
+// blank identifiers is exempt, as are shadows of package-level names.
+var Shadow = &lint.Analyzer{
+	Name: "shadow",
+	Doc:  "report shadowed variables whose outer binding is used after the inner scope ends",
+	Run:  runShadow,
+}
+
+// shadowExempt names whose redeclaration is idiomatic, never a lurking
+// bug worth the noise.
+var shadowExempt = map[string]bool{"err": true, "ok": true, "_": true}
+
+func runShadow(pass *lint.Pass) error {
+	// Collect the use positions of every local variable up front.
+	uses := map[types.Object][]ast.Node{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, ok := pass.Info.Uses[id].(*types.Var); ok {
+					uses[obj] = append(uses[obj], id)
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || shadowExempt[id.Name] {
+				return true
+			}
+			inner, ok := pass.Info.Defs[id].(*types.Var)
+			if !ok || inner.IsField() {
+				return true
+			}
+			scope := inner.Parent()
+			if scope == nil || scope.Parent() == nil {
+				return true
+			}
+			// The object the name would have bound to without this
+			// declaration.
+			_, outerObj := scope.Parent().LookupParent(id.Name, id.Pos())
+			outer, ok := outerObj.(*types.Var)
+			if !ok || outer.IsField() || outer.Pkg() == nil {
+				return true
+			}
+			// Only same-function shadows: the outer variable must be
+			// function-scoped, not package-level.
+			if outer.Parent() == nil || outer.Parent() == pass.Pkg.Scope() || outer.Parent().Parent() == types.Universe {
+				return true
+			}
+			// Risky only if the outer binding is read again after the
+			// inner scope closes.
+			for _, use := range uses[outer] {
+				if use.Pos() > scope.End() {
+					pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer %q is used again after this scope",
+						id.Name, pass.Fset.Position(outer.Pos()), id.Name)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Fixture for the crossshard analyzer: scheduling through marked
+// boundary references, and shard-shared field discipline.
+package fixture
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ioctopus/internal/sim"
+)
+
+type node struct {
+	eng *sim.Engine
+	// peer lives on another shard's engine.
+	// octolint:crossshard-boundary
+	peer *node
+
+	// octolint:crossshard-boundary
+	remote *sim.Engine
+
+	// hits is bumped by every shard.
+	// octolint:shard-shared
+	hits atomic.Uint64
+
+	misses uint64 // octolint:shard-shared
+
+	// The marker must start a comment line: prose that merely mentions
+	// "octolint:shard-shared" mid-sentence marks nothing.
+	prose int
+}
+
+func (n *node) direct() {
+	n.remote.At(5, func() {}) // want `At on an engine reached through a crossshard-boundary reference`
+}
+
+func (n *node) viaPeer() {
+	n.peer.eng.After(time.Millisecond, func() {}) // want `After on an engine reached through a crossshard-boundary reference`
+}
+
+func (n *node) viaLocal() {
+	e := n.peer.eng
+	e.Go("proc", func(p *sim.Proc) {}) // want `Go on an engine reached through a crossshard-boundary reference`
+}
+
+func (n *node) ownEngine() {
+	n.eng.At(5, func() {}) // the component's own engine: fine
+	n.eng.After(time.Millisecond, func() {})
+}
+
+func (n *node) mailbox() {
+	n.eng.Post(n.remote, 5, func() {}) // Post/PostAfter are the sanctioned cross-shard path
+	n.eng.PostAfter(n.remote, time.Millisecond, func() {})
+}
+
+func (n *node) counters() {
+	n.hits.Add(1)                  // atomic-typed shard-shared field: fine
+	n.misses++                     // want `shard-shared misses has a non-atomic type`
+	atomic.AddUint64(&n.misses, 1) // plain field inside a sync/atomic call: fine
+}

@@ -1,0 +1,36 @@
+// Fixture for directive hygiene: the //octolint:allow escape hatch is
+// an audit record, so malformed, unjustified, unknown-rule, and stale
+// directives are all findings (reserved rule "directive") — run here
+// against the simdeterminism analyzer.
+package fixture
+
+import "time"
+
+func justified() time.Time {
+	//octolint:allow simdeterminism run banner reports real start time, never simulated
+	return time.Now()
+}
+
+func trailingDirective() time.Time {
+	return time.Now() //octolint:allow simdeterminism wall clock feeds the log prefix only
+}
+
+func unjustified() time.Time {
+	//octolint:allow simdeterminism // want `octolint:allow simdeterminism has no justification`
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func ruleless() time.Time {
+	//octolint:allow // want `octolint:allow directive names no rule`
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func unknownRule() time.Time {
+	//octolint:allow nosuchrule the rule name has a typo // want `octolint:allow names unknown rule nosuchrule`
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func stale() {
+	//octolint:allow simdeterminism there is nothing here to suppress // want `octolint:allow simdeterminism suppresses nothing`
+	return
+}

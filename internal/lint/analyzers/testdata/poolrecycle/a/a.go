@@ -1,0 +1,96 @@
+// Fixture for the poolrecycle analyzer: lease lifecycle over
+// nic.TxPacket / nic.RxPacket / eth.Frame.
+package fixture
+
+import (
+	"ioctopus/internal/eth"
+	"ioctopus/internal/nic"
+)
+
+func doubleRecycle(n *nic.NIC) {
+	p := n.LeaseTxPacket()
+	p.Recycle()
+	p.Recycle() // want `lease "p" recycled twice`
+}
+
+func useAfterRecycle(n *nic.NIC) {
+	p := n.LeaseTxPacket()
+	p.Recycle()
+	_ = p.Generation() // want `lease "p" used after Recycle`
+}
+
+func maybeUseAfterRecycle(n *nic.NIC, early bool) {
+	p := n.LeaseTxPacket()
+	if early {
+		p.Recycle()
+	}
+	_ = p.Generation() // want `lease "p" may be used after Recycle`
+}
+
+func leak(n *nic.NIC) {
+	p := n.LeaseTxPacket() // want `lease "p" escapes without Recycle or an ownership transfer`
+	_ = p.Generation()
+}
+
+func overwriteWhileLive(n *nic.NIC) {
+	p := n.LeaseTxPacket()
+	p = n.LeaseTxPacket() // want `lease "p" overwritten while still live`
+	p.Recycle()
+}
+
+func deferredRecycle(n *nic.NIC) {
+	p := n.LeaseTxPacket()
+	defer p.Recycle()
+	_ = p.Generation()
+}
+
+func transferToCallee(n *nic.NIC) {
+	p := n.LeaseTxPacket()
+	enqueue(p) // ownership moves with the argument
+}
+
+func transferByReturn(n *nic.NIC) *nic.TxPacket {
+	p := n.LeaseTxPacket()
+	return p
+}
+
+func branchesSettled(n *nic.NIC, send bool) {
+	p := n.LeaseTxPacket()
+	if send {
+		enqueue(p)
+	} else {
+		p.Recycle()
+	}
+}
+
+func pollLeak(q *nic.RxQueue) {
+	for _, p := range q.Poll(32) { // want `per-iteration lease "p" is not recycled or transferred`
+		_ = p.Generation()
+	}
+}
+
+func pollRecycled(q *nic.RxQueue) {
+	for _, p := range q.Poll(32) {
+		_ = p.Generation()
+		p.Recycle()
+	}
+}
+
+func reapTransferred(q *nic.TxQueue) {
+	for _, p := range q.Reap(32) {
+		enqueue(p)
+	}
+}
+
+func frameDoubleRelease(fp *eth.FramePool) {
+	f := fp.Get()
+	f.Release()
+	f.Release() // want `lease "f" recycled twice`
+}
+
+func frameReleased(fp *eth.FramePool) {
+	f := fp.Get()
+	f.Release()
+}
+
+func enqueue(*nic.TxPacket) {}

@@ -1,0 +1,36 @@
+// Fixture for the shadow analyzer.
+package fixture
+
+func riskyShadow(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x * 2 // want `declaration of "total" shadows declaration`
+			_ = total
+		}
+	}
+	return total // the outer total is read here, after the inner scope
+}
+
+func harmlessShadow(xs []int) int {
+	v := len(xs)
+	out := v
+	{
+		v := out * 2 // outer v is never read again: no finding
+		out += v
+	}
+	return out
+}
+
+func errReuseOK() error {
+	err := step()
+	if err != nil {
+		return err
+	}
+	if err := step(); err != nil { // err is exempt by convention
+		return err
+	}
+	return nil
+}
+
+func step() error { return nil }

@@ -1,0 +1,86 @@
+// Fixture for the simdeterminism analyzer: wall-clock reads, global
+// math/rand, and order-leaking map iteration.
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand outside ioctopus/internal/sim`
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock time.Now breaks seeded reproducibility`
+	return time.Since(start) // want `wall-clock time.Since breaks seeded reproducibility`
+}
+
+func allowedWallClock() time.Time {
+	//octolint:allow simdeterminism reported wall-clock for the run banner, never simulated
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `global math/rand.Intn draws from process-wide state`
+}
+
+func seededOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are fine; the import was the finding
+}
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative accumulation: order cannot leak
+		total += v
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collected, then sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func helperSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // a local sort helper counts as sorting
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collects into "keys" in nondeterministic order and "keys" is never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func orderLeaks(m map[string]int) {
+	for k, v := range m { // want `map iteration order is nondeterministic and this loop body does more than order-insensitive accumulation`
+		emit(k, v)
+	}
+}
+
+func lastWins(m map[string]int) string {
+	winner := ""
+	for k := range m { // want `more than order-insensitive accumulation`
+		winner = k
+	}
+	return winner
+}
+
+func keyedRewrite(src, dst map[string]int) {
+	for k, v := range src { // keyed inserts and deletes are per-key, order-insensitive
+		dst[k] = v + 1
+		delete(src, k)
+	}
+}
+
+func emit(string, int) {}

@@ -1,0 +1,18 @@
+// Fixture loaded under the import path ioctopus/internal/sim, the one
+// package allowed to import math/rand — but only its explicitly seeded
+// constructors; the global functions stay forbidden even here.
+package fixture
+
+import "math/rand"
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func zipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.1, 1, 1<<20)
+}
+
+func global() int {
+	return rand.Intn(4) // want `global math/rand.Intn draws from process-wide state`
+}

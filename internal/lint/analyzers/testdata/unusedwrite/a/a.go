@@ -1,0 +1,47 @@
+// Fixture for the unusedwrite analyzer.
+package fixture
+
+func deadStore(a, b int) int {
+	x := 0
+	_ = x
+	x = a // want `value written to "x" is overwritten below before ever being read`
+	x = b
+	return x
+}
+
+func finalWriteNeverRead(a int) int {
+	x := a
+	y := x + 1
+	x = y // want `value written to "x" is never read`
+	return y
+}
+
+func interleavedReadsOK(a, b int) int {
+	x := a
+	x = x + b // reads the previous write: fine (and self-referencing writes are skipped)
+	y := x
+	x = a // want `value written to "x" is never read`
+	return y
+}
+
+func loopCarriedOK(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s = s + v // loop bodies run more than once: never reported
+	}
+	return s
+}
+
+func capturedOK() func() int {
+	x := 1
+	f := func() int { return x }
+	x = 2 // visible through the closure: never reported
+	return f
+}
+
+func addressTakenOK(a int) int {
+	x := a
+	p := &x
+	x = a + 1 // visible through p: never reported
+	return *p
+}

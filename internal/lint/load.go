@@ -1,0 +1,194 @@
+// Package loading: a stdlib-only substitute for
+// golang.org/x/tools/go/packages, sufficient for this single module.
+// The module path comes from go.mod, package discovery is a directory
+// walk (skipping testdata, hidden and underscore directories, exactly
+// as the go tool does), and type information comes from go/types with
+// the compiler's source importer, which resolves both stdlib and
+// intra-module imports from source — no pre-built export data, no
+// network, no module downloads.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path ("ioctopus/internal/sim")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by filename
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. One Loader shares a FileSet
+// and an import cache across every package it loads.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+	// IncludeTests loads _test.go files of the package under test
+	// (external test packages are not loaded). Off by default: the
+	// invariants octolint enforces are about model code, and tests
+	// legitimately use maps, wall-clock deadlines via testing, etc.
+	IncludeTests bool
+}
+
+// NewLoader returns a loader with an empty import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// ModulePath reads the module path out of root's go.mod.
+func ModulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// LoadModule loads every package under root (the module root), in
+// deterministic directory order. Directories named testdata, hidden
+// directories, and underscore-prefixed directories are skipped, like
+// the go tool skips them.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, returning
+// nil (no error) when the directory holds no Go files. Test files are
+// included only when IncludeTests is set.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	parsed := make([]*ast.File, len(names))
+	for i, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed[i] = f
+	}
+	// The package name is set by the non-test files; external test
+	// packages ("foo_test") type-check against the package under test,
+	// so they are left out to keep LoadDir a single self-consistent
+	// unit.
+	pkgName := ""
+	for i, f := range parsed {
+		if !strings.HasSuffix(names[i], "_test.go") {
+			if pkgName != "" && f.Name.Name != pkgName {
+				return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, pkgName, f.Name.Name)
+			}
+			pkgName = f.Name.Name
+		}
+	}
+	var files []*ast.File
+	for _, f := range parsed {
+		if pkgName == "" || f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
