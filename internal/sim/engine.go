@@ -112,7 +112,12 @@ type Engine struct {
 	live     int   // scheduled and not cancelled
 	running  bool
 	stopped  bool
-	procs    map[*Proc]struct{}
+	// Parked-process registry, insertion-ordered so Drain kills in a
+	// deterministic sequence (map-order iteration would leak here).
+	// procs maps each live process to its procList index; finish
+	// swap-removes, which keeps the order a pure function of the run.
+	procs    map[*Proc]int
+	procList []*Proc
 	tracer   *Tracer
 
 	// Sharding state (see shard.go). group is nil on a standalone
@@ -142,7 +147,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{}), freeHead: -1}
+	return &Engine{procs: make(map[*Proc]int), freeHead: -1}
 }
 
 // Now returns the current simulation time.
@@ -408,10 +413,11 @@ func (e *Engine) Pending() int { return e.live }
 // Drain terminates all parked processes. Call when a run is finished so
 // process goroutines do not leak; after Drain the engine must not be used.
 func (e *Engine) Drain() {
-	for p := range e.procs {
+	for _, p := range e.procList {
 		p.kill()
 	}
-	e.procs = make(map[*Proc]struct{})
+	e.procs = make(map[*Proc]int)
+	e.procList = nil
 }
 
 // ShardGroup returns the Group this engine belongs to, nil for a

@@ -38,7 +38,8 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		killed: make(chan struct{}),
 	}
 	p.resumeFn = p.resume
-	e.procs[p] = struct{}{}
+	e.procs[p] = len(e.procList)
+	e.procList = append(e.procList, p)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -91,7 +92,15 @@ func (p *Proc) yield() {
 // finish marks the process complete and releases the engine.
 func (p *Proc) finish() {
 	p.dead = true
-	delete(p.eng.procs, p)
+	if i, ok := p.eng.procs[p]; ok {
+		last := len(p.eng.procList) - 1
+		moved := p.eng.procList[last]
+		p.eng.procList[i] = moved
+		p.eng.procs[moved] = i
+		p.eng.procList[last] = nil
+		p.eng.procList = p.eng.procList[:last]
+		delete(p.eng.procs, p)
+	}
 	p.park <- struct{}{}
 }
 
