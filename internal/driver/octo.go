@@ -369,9 +369,12 @@ func (d *Octo) ExpireNow() {
 // expiredRules returns stale rules in a deterministic order (map
 // iteration order would leak into event ordering otherwise).
 func (d *Octo) expiredRules(now sim.Time) []eth.FiveTuple {
+	// Raw arithmetic, not Time.Add: Add clamps negative results, which
+	// would mark everything expired while now < RuleExpiry.
+	cutoff := now - sim.Time(d.params.RuleExpiry)
 	var expired []eth.FiveTuple
 	for ft, r := range d.rules {
-		if now.Sub(r.refreshed) > d.params.RuleExpiry {
+		if r.refreshed < cutoff {
 			expired = append(expired, ft)
 		}
 	}
