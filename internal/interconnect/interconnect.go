@@ -12,6 +12,7 @@ package interconnect
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ioctopus/internal/sim"
@@ -128,18 +129,36 @@ func (f *Fabric) Utilization(from, to topology.NodeID) float64 {
 }
 
 // TotalBytes returns all bytes moved across the fabric in both kinds of
-// traffic.
+// traffic. Summation order is fixed by link key, not map order: float
+// addition is not associative, so iteration order would otherwise leak
+// into reported totals.
 func (f *Fabric) TotalBytes() float64 {
 	var sum float64
-	for _, p := range f.pipes {
-		sum += p.TotalBytes()
+	for _, key := range f.sortedLinks() {
+		sum += f.pipes[key].TotalBytes()
 	}
 	return sum
 }
 
 // ResetStats zeroes every pipe's counters.
 func (f *Fabric) ResetStats() {
-	for _, p := range f.pipes {
-		p.ResetStats()
+	for _, key := range f.sortedLinks() {
+		f.pipes[key].ResetStats()
 	}
+}
+
+// sortedLinks returns the directional link keys in canonical
+// (src, dst) order, the deterministic way to walk the pipes map.
+func (f *Fabric) sortedLinks() [][2]topology.NodeID {
+	keys := make([][2]topology.NodeID, 0, len(f.pipes))
+	for key := range f.pipes {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }

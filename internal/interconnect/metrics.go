@@ -8,8 +8,10 @@ import (
 
 // RegisterMetrics wires every directional link's pipe into a registry
 // under "link<i>to<j>" — the traffic Figures 11, 12 and 15 measure.
+// Registration runs in canonical link order so registry contents are a
+// pure function of the wiring, not of map iteration.
 func (f *Fabric) RegisterMetrics(r metrics.Registrar) {
-	for key, p := range f.pipes {
-		metrics.RegisterPipe(r.Scope(fmt.Sprintf("link%dto%d", key[0], key[1])), p)
+	for _, key := range f.sortedLinks() {
+		metrics.RegisterPipe(r.Scope(fmt.Sprintf("link%dto%d", key[0], key[1])), f.pipes[key])
 	}
 }
