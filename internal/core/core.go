@@ -365,11 +365,11 @@ func NewClusterE(cfg Config) (*Cluster, error) {
 			Engine:       e,
 			ClientEngine: ce,
 			NIC:          cl.Server.NIC,
-			Wire:       cl.Wire,
-			ServerPort: cl.Server.NIC,
-			ClientPort: cl.Client.NIC,
-			Fabric:     cl.Server.Fabric,
-			Kernel:     cl.Server.Kernel,
+			Wire:         cl.Wire,
+			ServerPort:   cl.Server.NIC,
+			ClientPort:   cl.Client.NIC,
+			Fabric:       cl.Server.Fabric,
+			Kernel:       cl.Server.Kernel,
 		})
 		if err != nil {
 			return nil, err
@@ -409,7 +409,7 @@ func (h *Host) registerMetrics(r metrics.Registrar) {
 			RegisterMetrics(metrics.Registrar)
 		}
 		if d, ok := dev.(registrable); ok {
-			d.RegisterMetrics(r.Scope("driver/" + dev.Name()))
+			d.RegisterMetrics(r.Scope(fmt.Sprintf("driver/%s", dev.Name())))
 		}
 	}
 }
