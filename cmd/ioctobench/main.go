@@ -153,13 +153,15 @@ func runAll(ids []string, d ioctopus.Durations, parallel int) ([]*ioctopus.Exper
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
-		go func(i int, id string) {
+		// Loop variables are per-iteration since Go 1.22; capturing them
+		// directly avoids shadowing params.
+		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			fmt.Fprintf(os.Stderr, "running %s...\n", id)
 			results[i], errs[i] = ioctopus.RunExperiment(id, d)
-		}(i, id)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -82,12 +82,13 @@ func points[T any](n int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		go func(i int) {
+		// Per-iteration loop variable (Go 1.22): capture directly.
+		go func() {
 			defer wg.Done()
 			s <- struct{}{}
 			defer func() { <-s }()
 			out[i] = fn(i)
-		}(i)
+		}()
 	}
 	wg.Wait()
 	return out

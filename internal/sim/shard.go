@@ -189,10 +189,11 @@ func (g *Group) Run(until Time) {
 	var wg sync.WaitGroup
 	for _, e := range g.engines {
 		wg.Add(1)
-		go func(e *Engine) {
+		// Per-iteration loop variable (Go 1.22): capture directly.
+		go func() {
 			defer wg.Done()
 			g.runShard(e, until)
-		}(e)
+		}()
 	}
 	wg.Wait()
 	for _, e := range g.engines {
