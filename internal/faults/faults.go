@@ -264,13 +264,22 @@ type Injector struct {
 
 	c2s, s2c *dirState
 
-	eventsFired     atomic.Uint64
+	// Counters are bumped from both wire directions, which under -shards
+	// run on different goroutines.
+	// octolint:shard-shared
+	eventsFired atomic.Uint64
+	// octolint:shard-shared
 	linkTransitions atomic.Uint64
-	lossDrops       atomic.Uint64
-	burstDrops      atomic.Uint64
-	corruptDrops    atomic.Uint64
-	degrades        atomic.Uint64
-	stalls          atomic.Uint64
+	// octolint:shard-shared
+	lossDrops atomic.Uint64
+	// octolint:shard-shared
+	burstDrops atomic.Uint64
+	// octolint:shard-shared
+	corruptDrops atomic.Uint64
+	// octolint:shard-shared
+	degrades atomic.Uint64
+	// octolint:shard-shared
+	stalls atomic.Uint64
 }
 
 // engFor picks the engine owning a wire direction's sending side.

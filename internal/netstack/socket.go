@@ -16,10 +16,14 @@ import (
 // through the device underneath; windowing throttles senders to the
 // receiver's pace as TCP does.
 type Socket struct {
-	stack   *Stack
-	ft      eth.FiveTuple
-	dev     NetDevice
-	owner   *kernel.Thread
+	stack *Stack
+	ft    eth.FiveTuple
+	dev   NetDevice
+	owner *kernel.Thread
+	// peer may live on another host, i.e. another shard's engine; never
+	// schedule on an engine reached through it — deliveries cross via
+	// Post/PostAfter.
+	// octolint:crossshard-boundary
 	peer    *Socket
 	peerMAC eth.MAC
 
@@ -151,6 +155,7 @@ func (s *Socket) recvCost() time.Duration {
 // list as it fires.
 type ackEvent struct {
 	owner *Socket
+	// octolint:crossshard-boundary
 	peer  *Socket
 	acked int64
 	free  int64

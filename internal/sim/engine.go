@@ -124,10 +124,14 @@ type Engine struct {
 	// engine, which keeps every field below cold: shard is 0, seqBase is
 	// 0 (entry seq keys degenerate to the classic per-engine counter),
 	// and the inbox/clock/hooks are never touched.
-	group     *Group
-	shard     int
-	seqBase   uint64 // shard<<56, folded into every entry's seq key
-	clock     atomicTime
+	group   *Group
+	shard   int
+	seqBase uint64 // shard<<56, folded into every entry's seq key
+	// clock and inbox are read and written by peer shard goroutines
+	// while this shard runs; both types synchronize internally.
+	// octolint:shard-shared
+	clock atomicTime
+	// octolint:shard-shared
 	inbox     mailbox
 	syncHooks []func()
 

@@ -50,7 +50,9 @@ type Pipe struct {
 	// land on a different shard's engine, they travel via Post, and the
 	// pipe mirrors nextFree into horizon so the receiving shard's
 	// lookahead tracks the FIFO backlog instead of the latency floor.
-	remote  *Engine
+	// octolint:crossshard-boundary
+	remote *Engine
+	// octolint:shard-shared
 	horizon *atomicTime
 
 	// Fluid traffic.
