@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the verification gate.
 
-.PHONY: check test bench build
+.PHONY: check test bench build lint
 
 build:
 	go build ./...
@@ -8,7 +8,12 @@ build:
 test:
 	go test ./...
 
-# vet + build + race (sim, experiments) + full test suite.
+# Static invariants only (also part of `make check`): the octolint
+# multichecker over the whole module.
+lint:
+	go run ./cmd/octolint
+
+# vet + lint + build + race (sim, experiments) + full test suite.
 check:
 	./scripts/check.sh
 

@@ -9,8 +9,15 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# Guard against editing this gate into a script that no longer parses.
+sh -n scripts/check.sh
+
 go vet ./...
 go build ./...
+# Repo-specific invariants (determinism, cross-shard scheduling, pool
+# leases, metric names) plus reduced shadow/unusedwrite ports; findings
+# need a fix or a justified //octolint:allow directive.
+go run ./cmd/octolint
 # The race pass covers the sharded engine: internal/sim carries the
 # Group unit tests and internal/experiments carries TestShardDeterminism,
 # which runs fig2 + chaos on concurrent shard goroutines.
@@ -47,7 +54,13 @@ cmp "$tmp/chaos1.json" "$tmp/chaos_sharded.json"
 # thresholds recorded in BENCH_sim.json (the "gate" section).
 evr_max="$(sed -n 's/.*"BenchmarkSimulatorEventRate_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
 pp_max="$(sed -n 's/.*"BenchmarkPacketPath_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
-test -n "$evr_max" && test -n "$pp_max"
+if test -z "$evr_max" || test -z "$pp_max"; then
+    echo "check.sh: BENCH_sim.json is missing its gate keys" \
+        "(BenchmarkSimulatorEventRate_max_allocs_per_op," \
+        "BenchmarkPacketPath_max_allocs_per_op); regenerate with" \
+        "'make bench' and restore the gate section" >&2
+    exit 1
+fi
 # (The serial benchmark only: the Sharded variant's allocs scale with
 # cross-shard traffic — its determinism is gated above, not its allocs.)
 go test -run '^$' -bench 'BenchmarkPacketPath$|BenchmarkSimulatorEventRate$' -benchtime 10x -benchmem . | tee "$tmp/bench.txt"
