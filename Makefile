@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the verification gate.
 
-.PHONY: check test bench build lint
+.PHONY: check test bench build lint fuzz
 
 build:
 	go build ./...
@@ -16,6 +16,13 @@ lint:
 # vet + lint + build + race (sim, experiments) + full test suite.
 check:
 	./scripts/check.sh
+
+# Simulation fuzzing: run a batch of seeded random scenarios and fail
+# on any invariant violation. Override the batch with SEED= and N=.
+SEED ?= 1
+N ?= 25
+fuzz:
+	go run ./cmd/ioctobench -fuzz $(N) -seed $(SEED)
 
 # Regenerate the performance numbers behind BENCH_sim.json.
 bench:

@@ -15,6 +15,9 @@
 //	ioctobench -fig fig14 -o fig14.txt
 //	ioctobench -fig all -quick -json report.json
 //	ioctobench -fig fig6 -profile ./prof
+//	ioctobench -scenario chaos -quick
+//	ioctobench -scenario my-experiment.json
+//	ioctobench -fuzz 10 -seed 1
 package main
 
 import (
@@ -42,6 +45,11 @@ func main() {
 			"max simulations in flight (1 = fully serial); results are identical at any level")
 		shards = flag.Int("shards", 1,
 			"engine shards per simulated cluster (1 = serial engine; 2 = one shard per host); results are identical at any value")
+		scenarioArg = flag.String("scenario", "",
+			"run a declarative scenario: a builtin name (fig2, chaos) or a path to a JSON spec file")
+		fuzzN = flag.Int("fuzz", 0,
+			"generate and run N seeded random scenarios (simulation fuzzing); seeds are -seed .. -seed+N-1")
+		seed = flag.Int64("seed", 1, "first seed for -fuzz")
 	)
 	flag.Parse()
 
@@ -51,14 +59,28 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: ioctobench -fig <id>|all [-quick] [-parallel N] [-o file]; -list for ids")
+	modes := 0
+	for _, on := range []bool{*fig != "", *scenarioArg != "", *fuzzN > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ioctobench -fig <id>|all | -scenario <name|file.json> | -fuzz N [-seed S] [-quick] [-parallel N] [-o file]; -list for ids")
 		os.Exit(2)
 	}
 	// Validate everything up front: a bad flag should fail here with a
 	// clear message, not hours into a run.
-	if *fig != "all" && !ioctopus.HasExperiment(*fig) {
+	if *fig != "" && *fig != "all" && !ioctopus.HasExperiment(*fig) {
 		fmt.Fprintf(os.Stderr, "ioctobench: unknown experiment %q; -list prints valid ids\n", *fig)
+		os.Exit(2)
+	}
+	if *fuzzN < 0 {
+		fmt.Fprintf(os.Stderr, "ioctobench: -fuzz %d is invalid; need a positive scenario count\n", *fuzzN)
+		os.Exit(2)
+	}
+	if *jsonPath != "" && *fig == "" {
+		fmt.Fprintln(os.Stderr, "ioctobench: -json reports cover figure runs; use -o for scenario/fuzz output")
 		os.Exit(2)
 	}
 	if *parallel < 1 {
@@ -76,6 +98,11 @@ func main() {
 	d := ioctopus.FullDurations()
 	if *quick {
 		d = ioctopus.QuickDurations()
+	}
+
+	if *scenarioArg != "" || *fuzzN > 0 {
+		runScenarios(*scenarioArg, *fuzzN, *seed, d, *out)
+		return
 	}
 
 	ids := []string{*fig}
@@ -118,17 +145,63 @@ func main() {
 	}
 	stopProfiling()
 
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+	emit(b.String(), *out)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing shape checks\n", failed)
+		os.Exit(1)
+	}
+}
+
+// emit writes the rendered results to -o or stdout.
+func emit(text, out string) {
+	if out != "" {
+		if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
-	} else {
-		fmt.Print(b.String())
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+		return
 	}
+	fmt.Print(text)
+}
+
+// runScenarios executes either one named/file scenario at the run's
+// -quick/full durations, or a -fuzz batch of generated scenarios at
+// the fuzz durations, and exits nonzero when any check fails — the
+// same contract as figure runs.
+func runScenarios(name string, fuzzN int, seed int64, d ioctopus.Durations, out string) {
+	var specs []*ioctopus.Scenario
+	if name != "" {
+		sp, err := ioctopus.LoadScenario(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = append(specs, sp)
+	} else {
+		d = ioctopus.FuzzDurations()
+		for i := 0; i < fuzzN; i++ {
+			specs = append(specs, ioctopus.GenerateScenario(seed+int64(i)))
+		}
+	}
+	var b strings.Builder
+	failed := 0
+	for _, sp := range specs {
+		fmt.Fprintf(os.Stderr, "running scenario %s...\n", sp.Name)
+		res, err := ioctopus.RunScenario(sp, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		b.WriteString(res.Render())
+		b.WriteString("\n")
+		if !res.Passed() {
+			failed++
+		}
+	}
+	emit(b.String(), out)
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing shape checks\n", failed)
+		fmt.Fprintf(os.Stderr, "%d scenario(s) had failing checks\n", failed)
 		os.Exit(1)
 	}
 }

@@ -154,9 +154,96 @@ type Targets struct {
 	Kernel *kernel.Kernel
 }
 
+// winKey identifies the piece of mutable fault state a windowed event
+// arms and disarms: loss/corrupt/burst probability per wire direction,
+// the degradation of one fabric link, or one PF's link state. Two
+// windows with the same key must not overlap — the first window's end
+// event would disarm (or re-arm) state the second window still owns.
+type winKey struct {
+	kind Kind
+	a, b int
+}
+
+// stateKey maps an event to the state it owns, and whether it is
+// windowed at all (Stall occupies a core queue, it owns no shared
+// toggle; LinkDown/LinkUp are edges, handled separately).
+func stateKey(ev Event) (winKey, bool) {
+	switch ev.Kind {
+	case Loss, Burst, Corrupt:
+		return winKey{kind: ev.Kind, a: int(ev.Dir)}, true
+	case Degrade:
+		return winKey{kind: Degrade, a: int(ev.From), b: int(ev.To)}, true
+	case LinkFlap:
+		return winKey{kind: LinkFlap, a: ev.PF}, true
+	default:
+		return winKey{}, false
+	}
+}
+
+// String names the state a key guards, for error messages.
+func (k winKey) String() string {
+	switch k.kind {
+	case Loss, Burst, Corrupt:
+		return fmt.Sprintf("%s windows on direction %d", k.kind, k.a)
+	case Degrade:
+		return fmt.Sprintf("degrade windows on link %d->%d", k.a, k.b)
+	default:
+		return fmt.Sprintf("link-flap windows on PF %d", k.a)
+	}
+}
+
+// ValidateSchedule rejects schedules whose windowed events fight over
+// the same state: two overlapping loss windows on one wire direction
+// (the first window's end event would zero the probability mid-way
+// through the second), overlapping degradations of the same fabric
+// link (the first restore resets the link while the second degradation
+// is live), overlapping flaps of one PF, and discrete link-up/down
+// events landing inside a flap window on the same PF. It needs no
+// targets, so plan generators can vet schedules before a cluster
+// exists; Validate (and therefore Arm) always includes it.
+func (p *Plan) ValidateSchedule() error {
+	type win struct {
+		idx      int
+		from, to time.Duration
+	}
+	wins := map[winKey][]win{}
+	for i, ev := range p.Events {
+		if k, ok := stateKey(ev); ok && ev.Duration > 0 {
+			wins[k] = append(wins[k], win{idx: i, from: ev.At, to: ev.At + ev.Duration})
+		}
+	}
+	for k, ws := range wins {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				// Half-open windows [from,to): back-to-back is fine,
+				// any true overlap is not.
+				if ws[i].from < ws[j].to && ws[j].from < ws[i].to {
+					return fmt.Errorf("faults: events %d and %d: overlapping %s",
+						ws[i].idx, ws[j].idx, k)
+				}
+			}
+		}
+	}
+	// Discrete link transitions inside a flap window on the same PF
+	// would flip the link under the flap's feet (an early link-up undoes
+	// the outage; the flap's own restore then masks the discrete down).
+	for i, ev := range p.Events {
+		if ev.Kind != LinkDown && ev.Kind != LinkUp {
+			continue
+		}
+		for _, w := range wins[winKey{kind: LinkFlap, a: ev.PF}] {
+			if ev.At > w.from && ev.At < w.to {
+				return fmt.Errorf("faults: event %d (%s) fires inside event %d's link-flap window on PF %d",
+					i, ev.Kind, w.idx, ev.PF)
+			}
+		}
+	}
+	return nil
+}
+
 // Validate rejects malformed plans up front (probabilities out of
-// range, unknown PFs, degenerate windows) so faults never fire half
-// configured mid-run.
+// range, unknown PFs, degenerate windows, windows racing for the same
+// state) so faults never fire half configured mid-run.
 func (p *Plan) Validate(tg Targets) error {
 	for i, ev := range p.Events {
 		if ev.At < 0 {
@@ -220,7 +307,7 @@ func (p *Plan) Validate(tg Targets) error {
 			return fmt.Errorf("faults: event %d: unknown kind %d", i, int(ev.Kind))
 		}
 	}
-	return nil
+	return p.ValidateSchedule()
 }
 
 // dirState is one wire direction's active loss configuration, mutated

@@ -373,3 +373,116 @@ func TestStallDelaysQueuedWork(t *testing.T) {
 		t.Fatalf("stalls = %d, want 1", inj.stalls.Load())
 	}
 }
+
+// TestValidateScheduleRejectsRacingWindows is the structural-schedule
+// table: windowed events that fight over one piece of state (the bug a
+// generated plan can hit that a hand-wired one never did — the first
+// window's end event disarms state the second window still owns) must
+// be rejected, while adjacent or independent windows must pass.
+func TestValidateScheduleRejectsRacingWindows(t *testing.T) {
+	ms := time.Millisecond
+	reject := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{"overlapping loss same direction", []Event{
+			{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+			{At: ms, Kind: Loss, Dir: ClientToServer, Prob: 0.2, Duration: 2 * ms},
+		}, "overlapping loss windows on direction 0"},
+		{"overlapping burst same direction", []Event{
+			{At: 0, Kind: Burst, Dir: ServerToClient, Duration: 2 * ms},
+			{At: ms, Kind: Burst, Dir: ServerToClient, Duration: 2 * ms},
+		}, "overlapping burst windows"},
+		{"overlapping corrupt same direction", []Event{
+			{At: 0, Kind: Corrupt, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+			{At: ms, Kind: Corrupt, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+		}, "overlapping corrupt windows"},
+		{"overlapping degrade same link", []Event{
+			{At: 0, Kind: Degrade, From: 0, To: 1, BWFactor: 0.5, LatFactor: 2, Duration: 2 * ms},
+			{At: ms, Kind: Degrade, From: 0, To: 1, BWFactor: 0.7, LatFactor: 2, Duration: 2 * ms},
+		}, "overlapping degrade windows on link 0->1"},
+		{"overlapping flap same pf", []Event{
+			{At: 0, Kind: LinkFlap, PF: 0, Duration: 2 * ms},
+			{At: ms, Kind: LinkFlap, PF: 0, Duration: 2 * ms},
+		}, "overlapping link-flap windows on PF 0"},
+		{"containment counts as overlap", []Event{
+			{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: 10 * ms},
+			{At: 2 * ms, Kind: Loss, Dir: ClientToServer, Prob: 0.2, Duration: ms},
+		}, "overlapping loss windows"},
+		{"link-up inside flap window", []Event{
+			{At: 0, Kind: LinkFlap, PF: 0, Duration: 2 * ms},
+			{At: ms, Kind: LinkUp, PF: 0},
+		}, "fires inside"},
+		{"link-down inside flap window", []Event{
+			{At: 0, Kind: LinkFlap, PF: 1, Duration: 2 * ms},
+			{At: ms, Kind: LinkDown, PF: 1},
+		}, "fires inside"},
+	}
+	for _, c := range reject {
+		t.Run(c.name, func(t *testing.T) {
+			err := (&Plan{Events: c.evs}).ValidateSchedule()
+			if err == nil {
+				t.Fatalf("ValidateSchedule accepted %+v", c.evs)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+
+	accept := []struct {
+		name string
+		evs  []Event
+	}{
+		{"adjacent loss windows same direction", []Event{
+			{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: ms},
+			{At: ms, Kind: Loss, Dir: ClientToServer, Prob: 0.2, Duration: ms},
+		}},
+		{"overlapping loss different directions", []Event{
+			{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+			{At: ms, Kind: Loss, Dir: ServerToClient, Prob: 0.2, Duration: 2 * ms},
+		}},
+		{"overlapping loss and corrupt same direction", []Event{
+			{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+			{At: ms, Kind: Corrupt, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+		}},
+		{"overlapping flaps different pfs", []Event{
+			{At: 0, Kind: LinkFlap, PF: 0, Duration: 2 * ms},
+			{At: ms, Kind: LinkFlap, PF: 1, Duration: 2 * ms},
+		}},
+		{"overlapping degrades different links", []Event{
+			{At: 0, Kind: Degrade, From: 0, To: 1, BWFactor: 0.5, LatFactor: 2, Duration: 2 * ms},
+			{At: ms, Kind: Degrade, From: 1, To: 0, BWFactor: 0.5, LatFactor: 2, Duration: 2 * ms},
+		}},
+		{"link-up at flap window edge", []Event{
+			{At: 0, Kind: LinkFlap, PF: 0, Duration: 2 * ms},
+			{At: 2 * ms, Kind: LinkUp, PF: 0},
+		}},
+		{"stall overlapping everything", []Event{
+			{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: 2 * ms},
+			{At: 0, Kind: Stall, Core: 0, Duration: 2 * ms},
+			{At: ms, Kind: Stall, Core: 1, Duration: 2 * ms},
+		}},
+	}
+	for _, c := range accept {
+		t.Run(c.name, func(t *testing.T) {
+			if err := (&Plan{Events: c.evs}).ValidateSchedule(); err != nil {
+				t.Fatalf("ValidateSchedule rejected a sound schedule: %v", err)
+			}
+		})
+	}
+}
+
+// TestArmRejectsOverlappingWindows confirms the structural check is on
+// the Arm path, not only available standalone.
+func TestArmRejectsOverlappingWindows(t *testing.T) {
+	r := newRig(t)
+	plan := &Plan{Events: []Event{
+		{At: 0, Kind: Loss, Dir: ClientToServer, Prob: 0.1, Duration: 2 * time.Millisecond},
+		{At: time.Millisecond, Kind: Loss, Dir: ClientToServer, Prob: 0.2, Duration: 2 * time.Millisecond},
+	}}
+	if _, err := Arm(plan, r.targets()); err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("Arm err = %v, want overlapping-window rejection", err)
+	}
+}

@@ -1,0 +1,475 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/eth"
+	"ioctopus/internal/experiments"
+	"ioctopus/internal/kernel"
+	"ioctopus/internal/metrics"
+	"ioctopus/internal/netstack"
+	"ioctopus/internal/sim"
+	"ioctopus/internal/topology"
+	"ioctopus/internal/workloads"
+)
+
+// Run executes a validated spec and returns its Result. The run is a
+// pure function of (spec, durations, experiments.Shards()): running
+// the same spec twice — or its JSON round-trip — renders byte-identical
+// text, which is what the check.sh fuzz gate diffs.
+func Run(sp *Spec, d experiments.Durations) (*experiments.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.Trend != nil {
+		return runTrend(sp), nil
+	}
+	return runSim(sp, d)
+}
+
+// runTrend evaluates a static trend dataset — the declarative twin of
+// the hand-wired fig2 runner, row for row and check for check.
+func runTrend(sp *Spec) *experiments.Result {
+	tr := sp.Trend
+	r := &experiments.Result{ID: sp.Name, Title: sp.Title}
+	t := metrics.NewTable(tr.TableTitle,
+		"year", "ethernet", "NIC 1-port", "NIC 2-port", "cores", "CPU cloud", "CPU 10G/core")
+	nicAlwaysExceedsCloud := true
+	dualExceedsAggressive := 0
+	for _, p := range tr.Rows {
+		cloud := tr.CloudPerCoreGbs * float64(p.MaxCores)
+		aggressive := tr.BareMetalPerCoreGbs * float64(p.MaxCores)
+		t.AddRow(p.Year, p.Ethernet, p.SinglePortGbs, p.DualPortGbs, p.MaxCores, cloud, aggressive)
+		if p.SinglePortGbs <= cloud {
+			nicAlwaysExceedsCloud = false
+		}
+		if p.DualPortGbs >= aggressive {
+			dualExceedsAggressive++
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	r.Checks = append(r.Checks,
+		experiments.Check{
+			Name: tr.SingleExceedsCloudName, Pass: nicAlwaysExceedsCloud,
+			Detail: tr.SingleExceedsCloudDetail,
+		},
+		experiments.Check{
+			Name: tr.DualCoversAggressiveName, Pass: dualExceedsAggressive >= len(tr.Rows)/2,
+			Detail: fmt.Sprintf("%d of %d years", dualExceedsAggressive, len(tr.Rows)),
+		})
+	r.Notes = append(r.Notes, tr.Notes...)
+	return r
+}
+
+// streamState is one raw-stream workload's byte accounting. tx is
+// written by the sending host's shard and rx by the receiving host's;
+// both are only read after the engines have joined (end of a Run), and
+// rx of a forward stream — the one source samplers may probe — lives on
+// the server shard the sampler runs on.
+type streamState struct {
+	tx, rx int64
+}
+
+// runErrs collects workload failures across both engine shards.
+type runErrs struct {
+	mu   sync.Mutex
+	errs []string
+}
+
+func (re *runErrs) add(format string, args ...any) {
+	re.mu.Lock()
+	re.errs = append(re.errs, fmt.Sprintf(format, args...))
+	re.mu.Unlock()
+}
+
+func (re *runErrs) all() []string {
+	re.mu.Lock()
+	defer re.mu.Unlock()
+	return append([]string(nil), re.errs...)
+}
+
+// ratio guards against division blowups in reporting (the experiments
+// package's convention).
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// pctT renders a percent-of-timeline instant the way the hand-wired
+// runners label windows: "0.30T", or plain "T" at the end of the run.
+func pctT(pct int) string {
+	if pct == 100 {
+		return "T"
+	}
+	return fmt.Sprintf("0.%02dT", pct)
+}
+
+// runSim assembles the cluster a SimSpec describes, drives its
+// workloads and fault plan over the timeline, and evaluates the
+// declarative checks.
+func runSim(sp *Spec, d experiments.Durations) (*experiments.Result, error) {
+	sim2 := sp.Sim
+	T := d.Timeline
+	frac := func(pct int) time.Duration { return T * time.Duration(pct) / 100 }
+
+	mode, _ := parseMode(sim2.Mode)
+	wiring, _ := parseWiring(sim2.Wiring)
+	serverTopo, err := sim2.Topology.Server.build()
+	if err != nil {
+		return nil, err
+	}
+	clientTopo, err := sim2.Topology.Client.build()
+	if err != nil {
+		return nil, err
+	}
+
+	stackParams := netstack.DefaultParams()
+	if sim2.Retx != nil {
+		stackParams.RetxTimeout = sim2.Retx.Timeout
+		stackParams.RetxMaxTries = sim2.Retx.MaxTries
+	}
+
+	cl, err := core.NewClusterE(core.Config{
+		Mode:        mode,
+		EnableSG:    sim2.EnableSG,
+		Wiring:      wiring,
+		ServerTopo:  serverTopo,
+		ClientTopo:  clientTopo,
+		StackParams: &stackParams,
+		FaultPlan:   sim2.faultPlan(sp.Seed, T),
+		Seed:        sp.Seed,
+		Shards:      experiments.Shards(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Drain()
+
+	r := &experiments.Result{ID: sp.Name, Title: sp.Title}
+	var errs runErrs
+
+	// Workloads, in spec order. Stream workloads are wired inline so the
+	// runner owns per-stream sent/delivered counters; netperf and
+	// memcached go through the workloads package.
+	streams := make([]*streamState, len(sim2.Workloads))
+	netperfs := make([]*workloads.Stream, len(sim2.Workloads))
+	memcacheds := make([]*workloads.Memcached, len(sim2.Workloads))
+	for i, w := range sim2.Workloads {
+		switch w.Kind {
+		case "stream":
+			st := &streamState{}
+			streams[i] = st
+			startStream(cl, i, w, st, &errs)
+		case "netperf":
+			dir := workloads.Rx
+			if w.Direction == "tx" {
+				dir = workloads.Tx
+			}
+			var serverCores, clientCores []topology.CoreID
+			serverPool := cl.Server.Topo.CoresOn(topology.NodeID(w.ServerNode))
+			clientPool := cl.Client.Topo.CoresOn(0)
+			for k := 0; k < w.Instances; k++ {
+				serverCores = append(serverCores, serverPool[k].ID)
+				clientCores = append(clientCores, clientPool[k%len(clientPool)].ID)
+			}
+			netperfs[i] = workloads.StartStream(cl, workloads.StreamConfig{
+				MsgSize:     w.MsgSize,
+				Direction:   dir,
+				ServerCores: serverCores,
+				ClientCores: clientCores,
+				ServerIP:    core.IPServerPF0,
+				Port:        w.Port,
+			})
+		case "memcached":
+			cfg := workloads.DefaultMemcachedConfig(topology.NodeID(w.ServerNode), cl)
+			cfg.ClientCores = cfg.ClientCores[:w.Clients]
+			cfg.KeySize = w.KeySize
+			cfg.ValueSize = w.ValueSize
+			cfg.SetRatio = w.SetRatio
+			cfg.Port = w.Port
+			if w.OpCost > 0 {
+				cfg.OpCost = w.OpCost
+			}
+			cfg.Pipeline = w.Pipeline
+			memcacheds[i] = workloads.StartMemcached(cl, cfg)
+		}
+	}
+
+	// Sampled series, in spec order, on the server shard.
+	var sampler *metrics.Sampler
+	series := make([]*metrics.Series, len(sim2.Samples))
+	if len(sim2.Samples) > 0 {
+		sampler = metrics.NewSampler(cl.Eng, d.SampleEvery)
+		for i, s := range sim2.Samples {
+			series[i] = sampler.TrackRate(s.Name, sampleProbe(cl, s.Source, streams))
+		}
+		sampler.Start()
+	}
+
+	// Windowed aggregate NIC receive rates, each bracketed by engine
+	// runs; the tail of the timeline runs after the last window so
+	// counters are read at T.
+	nicRx := func() float64 {
+		var total float64
+		for i := 0; i < cl.Server.Topo.NumNodes(); i++ {
+			total += cl.Server.NIC.PF(i).RxBytes()
+		}
+		return total
+	}
+	var cursor time.Duration
+	advance := func(to time.Duration) {
+		cl.Run(to - cursor)
+		cursor = to
+	}
+	rates := make([]float64, len(sim2.Windows))
+	for i, w := range sim2.Windows {
+		advance(frac(w.FromPct))
+		start := nicRx()
+		advance(frac(w.ToPct))
+		rates[i] = (nicRx() - start) * 8 / (frac(w.ToPct) - frac(w.FromPct)).Seconds() / 1e9
+	}
+	if cursor < T {
+		advance(T)
+	}
+
+	// Dip depth and recovery time from the sampled series.
+	dip, recoverAt := 0.0, -1.0
+	if rec := sim2.Recovery; rec != nil {
+		pre := rates[0]
+		dip = pre
+		s := series[rec.Sample]
+		for i, tm := range s.Times {
+			v := s.Values[i]
+			if tm > sim.Time(frac(rec.FaultFromPct)) && tm < sim.Time(frac(rec.FaultToPct)) && v < dip {
+				dip = v
+			}
+			if recoverAt < 0 && tm >= sim.Time(frac(rec.RecoverAfterPct)) && v >= rec.Threshold*pre {
+				recoverAt = tm.Seconds() - frac(rec.RecoverAfterPct).Seconds()
+			}
+		}
+	}
+
+	// End-of-run counters.
+	var linkDrops uint64
+	for i := 0; i < cl.Server.Topo.NumNodes(); i++ {
+		linkDrops += cl.Server.NIC.PF(i).RxLinkDrops() + cl.Server.NIC.PF(i).TxLinkDrops()
+	}
+	var wireDrops, transitions uint64
+	if cl.Faults != nil {
+		wireDrops = cl.Faults.TotalWireDrops()
+		transitions = cl.Faults.LinkTransitions()
+	}
+	retx := cl.Client.Stack.RetxRetransmits() + cl.Server.Stack.RetxRetransmits()
+	abandoned := cl.Client.Stack.RetxAbandoned() + cl.Server.Stack.RetxAbandoned()
+	lost := wireDrops + linkDrops
+
+	if len(sim2.Windows) > 0 {
+		t := metrics.NewTable(sim2.WindowTable, "window", "Gb/s", "vs pre")
+		for i, w := range sim2.Windows {
+			label := fmt.Sprintf("%s [%s,%s)", w.Name, pctT(w.FromPct), pctT(w.ToPct))
+			if i == 0 {
+				t.AddRow(label, rates[i], 1.0)
+			} else {
+				t.AddRow(label, rates[i], ratio(rates[i], rates[0]))
+			}
+		}
+		r.Tables = append(r.Tables, t)
+	}
+
+	if len(sim2.Counters) > 0 {
+		ct := metrics.NewTable(sim2.CounterTable, "counter", "value")
+		for _, c := range sim2.Counters {
+			ct.AddRow(c.Label, counterValue(cl, c.Source, transitions, wireDrops, retx, abandoned))
+		}
+		r.Tables = append(r.Tables, ct)
+	}
+
+	r.Series = append(r.Series, series...)
+
+	if sim2.Recovery != nil {
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("seed %d; deepest delivered-rate sample during faults %.1f Gb/s (%.0f%% of pre)",
+				sp.Seed, dip, 100*ratio(dip, rates[0])),
+			fmt.Sprintf("recovery time after failback: %.1f ms (first sample back above %.0f%% of pre)",
+				recoverAt*1e3, 100*sim2.Recovery.Threshold))
+	}
+	var fwdTx, fwdRx, revTx, revRx int64
+	var haveFwd, haveRev bool
+	for i, w := range sim2.Workloads {
+		if w.Kind != "stream" {
+			continue
+		}
+		if w.FromServer {
+			haveRev = true
+			revTx += streams[i].tx
+			revRx += streams[i].rx
+		} else {
+			haveFwd = true
+			fwdTx += streams[i].tx
+			fwdRx += streams[i].rx
+		}
+	}
+	if haveFwd && haveRev {
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("forward sent %d bytes, delivered %d; reverse sent %d, delivered %d; gaps are in-flight/buffered data",
+				fwdTx, fwdRx, revTx, revRx))
+	}
+	r.Notes = append(r.Notes, sim2.Notes...)
+
+	// Declarative checks, in spec order.
+	inFlightBound := stackParams.SendWindow + stackParams.RxBufBytes
+	workloadErrs := errs.all()
+	for i := range sim2.Workloads {
+		if netperfs[i] != nil {
+			workloadErrs = append(workloadErrs, netperfs[i].Errors()...)
+		}
+		if memcacheds[i] != nil {
+			workloadErrs = append(workloadErrs, memcacheds[i].Errors()...)
+		}
+	}
+	checkTrue := func(name string, ok bool, detail string) {
+		r.Checks = append(r.Checks, experiments.Check{Name: name, Pass: ok, Detail: detail})
+	}
+	sawNoErrors := false
+	for _, c := range sim2.Checks {
+		switch c.Kind {
+		case "wire-drops-positive":
+			checkTrue(c.Name, lost > 0,
+				fmt.Sprintf("%d frames killed (wire %d, dead PF %d)", lost, wireDrops, linkDrops))
+		case "failover-and-back":
+			checkTrue(c.Name, cl.Octo.Failovers() >= 1 && cl.Octo.Failbacks() >= 1,
+				fmt.Sprintf("failovers=%d failbacks=%d", cl.Octo.Failovers(), cl.Octo.Failbacks()))
+		case "reposted":
+			checkTrue(c.Name, cl.Octo.Reposted() >= c.Min,
+				fmt.Sprintf("reposted=%d", cl.Octo.Reposted()))
+		case "retx-recovered":
+			checkTrue(c.Name, retx >= c.Min, fmt.Sprintf("retransmits=%d", retx))
+		case "no-abandoned":
+			checkTrue(c.Name, abandoned == 0, fmt.Sprintf("abandoned=%d", abandoned))
+		case "stream-conserved":
+			st := streams[c.Workload]
+			checkTrue(c.Name, st.tx-st.rx <= inFlightBound,
+				fmt.Sprintf("gap=%d bound=%d", st.tx-st.rx, inFlightBound))
+		case "progress":
+			var done int64
+			switch {
+			case streams[c.Workload] != nil:
+				done = streams[c.Workload].rx
+			case netperfs[c.Workload] != nil:
+				done = netperfs[c.Workload].Bytes()
+			case memcacheds[c.Workload] != nil:
+				done = int64(memcacheds[c.Workload].Transactions())
+			}
+			checkTrue(c.Name, done > 0, fmt.Sprintf("delivered=%d", done))
+		case "window-ratio":
+			v := ratio(rates[c.Window], rates[0])
+			r.Checks = append(r.Checks, experiments.Check{
+				Name: c.Name, Pass: v >= c.Lo && v <= c.Hi,
+				Detail: fmt.Sprintf("%.3f (want %.2f..%.2f)", v, c.Lo, c.Hi),
+			})
+		case "no-errors":
+			sawNoErrors = true
+			detail := "0 errors"
+			if len(workloadErrs) > 0 {
+				detail = strings.Join(workloadErrs, "; ")
+			}
+			checkTrue(c.Name, len(workloadErrs) == 0, detail)
+		}
+	}
+	// A workload failure must fail the run even when the spec's author
+	// forgot to ask for it: a fuzzed fault plan that kills a connect
+	// phase produces a failed check, never a silently passing run.
+	if len(workloadErrs) > 0 && !sawNoErrors {
+		checkTrue("workload errors", false, strings.Join(workloadErrs, "; "))
+	}
+	return r, nil
+}
+
+// startStream wires one raw-stream workload: a Listen+sink thread on
+// the receiving host and a Dial+send loop on the transmitting host,
+// with explicit core placement from the spec.
+func startStream(cl *core.Cluster, idx int, w WorkloadSpec, st *streamState, errs *runErrs) {
+	sinkHost, srcHost := cl.Server, cl.Client
+	dialIP := core.IPServerPF0
+	if w.FromServer {
+		sinkHost, srcHost = cl.Client, cl.Server
+		dialIP = core.IPClient
+	}
+	sinkCore := sinkHost.Topo.CoresOn(topology.NodeID(w.SinkNode))[w.SinkCoreIdx].ID
+	srcCore := srcHost.Topo.CoresOn(topology.NodeID(w.SrcNode))[w.SrcCoreIdx].ID
+
+	sinkHost.Stack.Listen(w.Port, func(s *netstack.Socket) {
+		sinkHost.Kernel.Spawn(w.SinkName, sinkCore, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				n, _, ok := s.Recv(th)
+				if !ok {
+					return
+				}
+				st.rx += n
+			}
+		})
+	})
+	srcHost.Kernel.Spawn(w.SrcName, srcCore, func(th *kernel.Thread) {
+		sock, err := srcHost.Stack.Dial(th, dialIP, w.Port, eth.ProtoTCP)
+		if err != nil {
+			errs.add("workload %d (%s): dial: %v", idx, w.SrcName, err)
+			return
+		}
+		for {
+			sock.Send(th, w.MsgSize)
+			st.tx += w.MsgSize
+		}
+	})
+}
+
+// sampleProbe builds the closure one SampleSpec tracks. All sources
+// live on the server engine shard, matching the sampler.
+func sampleProbe(cl *core.Cluster, source string, streams []*streamState) func() float64 {
+	if n, ok := parseSource(source, "workload"); ok {
+		st := streams[n]
+		return func() float64 { return float64(st.rx) * 8 / 1e9 }
+	}
+	n, _ := parseSource(source, "pf")
+	pf := cl.Server.NIC.PF(n)
+	return func() float64 { return pf.RxBytes() * 8 / 1e9 }
+}
+
+// counterValue resolves one counter-table source at end of run.
+func counterValue(cl *core.Cluster, src string, transitions, wireDrops, retx, abandoned uint64) float64 {
+	switch src {
+	case "faults/link_transitions":
+		return float64(transitions)
+	case "faults/wire_drops":
+		return float64(wireDrops)
+	case "driver/failovers":
+		return float64(cl.Octo.Failovers())
+	case "driver/failbacks":
+		return float64(cl.Octo.Failbacks())
+	case "driver/reposted":
+		return float64(cl.Octo.Reposted())
+	case "stack/retx":
+		return float64(retx)
+	case "server/stack/dup":
+		return float64(cl.Server.Stack.RetxDuplicates())
+	case "stack/abandoned":
+		return float64(abandoned)
+	case "nic/link_drops":
+		var total uint64
+		for i := 0; i < cl.Server.Topo.NumNodes(); i++ {
+			total += cl.Server.NIC.PF(i).RxLinkDrops() + cl.Server.NIC.PF(i).TxLinkDrops()
+		}
+		return float64(total)
+	}
+	var pf int
+	if _, err := fmt.Sscanf(src, "nic/pf%d/link_drops", &pf); err == nil {
+		return float64(cl.Server.NIC.PF(pf).RxLinkDrops() + cl.Server.NIC.PF(pf).TxLinkDrops())
+	}
+	return 0
+}

@@ -1,0 +1,822 @@
+// Package scenario is the declarative experiment layer: a validated,
+// seed-deterministic Spec — topology, NIC mode and wiring, workload
+// mix, fault schedule, and the checks that judge the run — that the
+// generic runner turns into a full cluster simulation. A scenario is
+// data (a Go literal or a JSON file), not a new hand-wired figN.go
+// runner: the same machinery that replays the chaos harness replays a
+// JSON file from disk or a spec drawn by the seeded generator
+// (Generate), which is what gives the repo property-based "simulation
+// fuzzing" of the steering/failover invariants.
+//
+// Determinism contract: a Spec is a pure function from (spec, seed,
+// durations) to rendered output. Marshal → unmarshal → run is
+// byte-identical to running the Go literal, and the builtin fig2 and
+// chaos specs are byte-identical to their hand-wired runners in
+// internal/experiments (pinned by tests and scripts/check.sh).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/faults"
+	"ioctopus/internal/pcie"
+	"ioctopus/internal/topology"
+)
+
+// Spec is one complete scenario. Exactly one of Trend or Sim describes
+// the body: Trend scenarios evaluate a static dataset (Figure 2's
+// technology trend), Sim scenarios assemble and drive a cluster.
+type Spec struct {
+	// Name is the scenario id (the Result ID and the -scenario name).
+	Name string `json:"name"`
+	// Title is the Result title line.
+	Title string `json:"title"`
+	// Seed drives the cluster RNG and the fault plan's loss streams;
+	// the whole run is a pure function of it.
+	Seed int64 `json:"seed"`
+
+	Trend *TrendSpec `json:"trend,omitempty"`
+	Sim   *SimSpec   `json:"sim,omitempty"`
+}
+
+// TrendRow is one year of a trend dataset.
+type TrendRow struct {
+	Year          int     `json:"year"`
+	Ethernet      string  `json:"ethernet"`
+	SinglePortGbs float64 `json:"single_port_gbs"`
+	DualPortGbs   float64 `json:"dual_port_gbs"`
+	MaxCores      int     `json:"max_cores"`
+}
+
+// TrendSpec evaluates a NIC-vs-CPU bandwidth dataset: the table, the
+// "single port always exceeds the cloud per-CPU bound" check and the
+// "dual port covers the aggressive bound in most years" check.
+type TrendSpec struct {
+	TableTitle          string     `json:"table_title"`
+	Rows                []TrendRow `json:"rows"`
+	CloudPerCoreGbs     float64    `json:"cloud_per_core_gbs"`
+	BareMetalPerCoreGbs float64    `json:"bare_metal_per_core_gbs"`
+	// Check names/details; the pass detail of the first check is static
+	// text, the second check's detail is computed ("%d of %d years").
+	SingleExceedsCloudName   string   `json:"single_exceeds_cloud_name"`
+	SingleExceedsCloudDetail string   `json:"single_exceeds_cloud_detail"`
+	DualCoversAggressiveName string   `json:"dual_covers_aggressive_name"`
+	Notes                    []string `json:"notes,omitempty"`
+}
+
+// MachineSpec names a host: a preset by name, or a custom build with
+// explicit socket/core counts (Broadwell-class per-socket template).
+type MachineSpec struct {
+	Preset         string `json:"preset,omitempty"`
+	Sockets        int    `json:"sockets,omitempty"`
+	CoresPerSocket int    `json:"cores_per_socket,omitempty"`
+}
+
+// TopoSpec is the two-machine testbed shape.
+type TopoSpec struct {
+	Server MachineSpec `json:"server"`
+	Client MachineSpec `json:"client"`
+}
+
+// RetxSpec enables the netstack retransmission timer.
+type RetxSpec struct {
+	Timeout  time.Duration `json:"timeout_ns"`
+	MaxTries int           `json:"max_tries"`
+}
+
+// WorkloadSpec is one element of the workload mix, kind-discriminated:
+//
+//   - "stream": a raw TCP byte stream with explicit sink/source thread
+//     placement (the chaos harness shape); the runner tracks sent and
+//     delivered bytes per stream for conservation checks.
+//   - "netperf": workloads.StartStream TCP_STREAM instances.
+//   - "memcached": workloads.StartMemcached + memslap clients.
+type WorkloadSpec struct {
+	Kind string `json:"kind"`
+
+	// stream
+	FromServer  bool   `json:"from_server,omitempty"` // server transmits
+	Port        uint16 `json:"port,omitempty"`
+	MsgSize     int64  `json:"msg_size,omitempty"`
+	SinkName    string `json:"sink_name,omitempty"`
+	SrcName     string `json:"src_name,omitempty"`
+	SinkNode    int    `json:"sink_node,omitempty"`
+	SinkCoreIdx int    `json:"sink_core_idx,omitempty"`
+	SrcNode     int    `json:"src_node,omitempty"`
+	SrcCoreIdx  int    `json:"src_core_idx,omitempty"`
+
+	// netperf
+	Direction string `json:"direction,omitempty"` // "rx" | "tx"
+	Instances int    `json:"instances,omitempty"`
+
+	// memcached
+	ServerNode int           `json:"server_node,omitempty"`
+	Clients    int           `json:"clients,omitempty"`
+	KeySize    int64         `json:"key_size,omitempty"`
+	ValueSize  int64         `json:"value_size,omitempty"`
+	SetRatio   float64       `json:"set_ratio,omitempty"`
+	OpCost     time.Duration `json:"op_cost_ns,omitempty"`
+	Pipeline   int           `json:"pipeline,omitempty"`
+}
+
+// FaultSpec is one scheduled fault, offsets expressed as integer
+// percent of the run timeline so one spec scales from -quick to full
+// windows; Dur is the absolute alternative for sub-window faults (a
+// 1 ms core stall). Kind and Dir use the faults package's String names.
+type FaultSpec struct {
+	Kind   string        `json:"kind"`
+	AtPct  int           `json:"at_pct"`
+	DurPct int           `json:"dur_pct,omitempty"`
+	Dur    time.Duration `json:"dur_ns,omitempty"`
+
+	PF        int     `json:"pf,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+	Dir       string  `json:"dir,omitempty"` // "client-to-server" | "server-to-client"
+	From      int     `json:"from,omitempty"`
+	To        int     `json:"to,omitempty"`
+	BWFactor  float64 `json:"bw_factor,omitempty"`
+	LatFactor float64 `json:"lat_factor,omitempty"`
+	Core      int     `json:"core,omitempty"`
+}
+
+// SampleSpec tracks one rate series over the run. Sources:
+// "workload:<i>" (delivered bytes of a forward stream workload) and
+// "pf:<n>" (server PF n receive bytes). Both live on the server's
+// engine shard, so sampling them is shard-safe.
+type SampleSpec struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// WindowSpec is one measurement window, percent of the timeline,
+// half-open [FromPct, ToPct). The windowed rate is the server NIC's
+// aggregate receive bandwidth; every window is reported against the
+// first ("vs pre").
+type WindowSpec struct {
+	Name    string `json:"name"`
+	FromPct int    `json:"from_pct"`
+	ToPct   int    `json:"to_pct"`
+}
+
+// CounterSpec is one row of the counter table. Sources: the fault
+// injector ("faults/link_transitions", "faults/wire_drops"), the
+// server NIC ("nic/pf<i>/link_drops", "nic/link_drops"), the octo
+// driver ("driver/failovers", "driver/failbacks", "driver/reposted"),
+// and the retransmission layer ("stack/retx" both hosts,
+// "server/stack/dup", "stack/abandoned" both hosts).
+type CounterSpec struct {
+	Label  string `json:"label"`
+	Source string `json:"source"`
+}
+
+// RecoverySpec derives the dip-depth and recovery-time notes from a
+// sampled series: the deepest sample inside (FaultFromPct, FaultToPct)
+// and the first sample at/after RecoverAfterPct back above Threshold of
+// the first window's rate.
+type RecoverySpec struct {
+	Sample          int     `json:"sample"`
+	FaultFromPct    int     `json:"fault_from_pct"`
+	FaultToPct      int     `json:"fault_to_pct"`
+	RecoverAfterPct int     `json:"recover_after_pct"`
+	Threshold       float64 `json:"threshold"`
+}
+
+// CheckSpec is one declarative invariant. Kinds:
+//
+//   - "wire-drops-positive": the fault plan actually killed frames.
+//   - "failover-and-back": the octo driver failed over and failed back.
+//   - "reposted": stranded Tx descriptors were re-posted (>= Min).
+//   - "retx-recovered": segments were retransmitted (>= Min).
+//   - "no-abandoned": the retransmission layer abandoned nothing.
+//   - "stream-conserved": stream workload Workload's sent-received gap
+//     is within the in-flight bound (SendWindow + RxBufBytes).
+//   - "progress": workload Workload delivered bytes / completed
+//     transactions (> 0).
+//   - "window-ratio": windows[Window] over windows[0] within [Lo, Hi].
+//   - "no-errors": no workload goroutine recorded a failure.
+type CheckSpec struct {
+	Kind     string  `json:"kind"`
+	Name     string  `json:"name"`
+	Workload int     `json:"workload,omitempty"`
+	Window   int     `json:"window,omitempty"`
+	Lo       float64 `json:"lo,omitempty"`
+	Hi       float64 `json:"hi,omitempty"`
+	Min      uint64  `json:"min,omitempty"`
+}
+
+// SimSpec is a cluster scenario: what to build, what to run on it,
+// what to break, what to measure, and what must hold.
+type SimSpec struct {
+	Topology TopoSpec `json:"topology"`
+	Mode     string   `json:"mode"`             // "standard" | "ioctopus"
+	Wiring   string   `json:"wiring,omitempty"` // "" = bifurcated
+	EnableSG bool     `json:"enable_sg,omitempty"`
+
+	Retx *RetxSpec `json:"retx,omitempty"`
+
+	Workloads []WorkloadSpec `json:"workloads"`
+	Faults    []FaultSpec    `json:"faults,omitempty"`
+
+	Samples      []SampleSpec  `json:"samples,omitempty"`
+	Windows      []WindowSpec  `json:"windows,omitempty"`
+	WindowTable  string        `json:"window_table,omitempty"`
+	Counters     []CounterSpec `json:"counters,omitempty"`
+	CounterTable string        `json:"counter_table,omitempty"`
+	Recovery     *RecoverySpec `json:"recovery,omitempty"`
+	Checks       []CheckSpec   `json:"checks,omitempty"`
+	Notes        []string      `json:"notes,omitempty"`
+}
+
+// parseMode maps the spec's mode string.
+func parseMode(s string) (core.NICMode, error) {
+	switch s {
+	case "standard":
+		return core.ModeStandard, nil
+	case "ioctopus":
+		return core.ModeIOctopus, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want standard or ioctopus)", s)
+	}
+}
+
+// parseWiring maps the spec's wiring string; "" keeps the default.
+func parseWiring(s string) (pcie.Wiring, error) {
+	switch s {
+	case "", "bifurcated":
+		return pcie.WiringBifurcated, nil
+	case "extender":
+		return pcie.WiringExtender, nil
+	case "riser":
+		return pcie.WiringRiser, nil
+	case "switch":
+		return pcie.WiringSwitch, nil
+	default:
+		return 0, fmt.Errorf("unknown wiring %q", s)
+	}
+}
+
+// parseFaultKind maps a FaultSpec kind string to the faults package.
+func parseFaultKind(s string) (faults.Kind, error) {
+	for k := faults.LinkDown; k <= faults.Stall; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault kind %q", s)
+}
+
+// parseDir maps a wire direction string.
+func parseDir(s string) (faults.Dir, error) {
+	switch s {
+	case "client-to-server":
+		return faults.ClientToServer, nil
+	case "server-to-client":
+		return faults.ServerToClient, nil
+	default:
+		return 0, fmt.Errorf("unknown wire direction %q (want client-to-server or server-to-client)", s)
+	}
+}
+
+// build constructs the machine a MachineSpec describes. Custom builds
+// use the Broadwell per-socket template so generated topologies vary in
+// shape (sockets × cores) without varying the memory calibration.
+func (m MachineSpec) build() (*topology.Server, error) {
+	switch m.Preset {
+	case "dual-broadwell":
+		return topology.DualBroadwell(), nil
+	case "dual-skylake":
+		return topology.DualSkylake(), nil
+	case "":
+		ic := topology.InterconnectSpec{}
+		if m.Sockets > 1 {
+			ic = topology.DualBroadwell().Interconnect
+		}
+		ref := topology.DualBroadwell().Sockets[0]
+		return topology.Build(
+			fmt.Sprintf("custom-%dx%d", m.Sockets, m.CoresPerSocket),
+			m.Sockets, m.CoresPerSocket, 2.0, ref.LLC, ref.DRAM, ic), nil
+	default:
+		return nil, fmt.Errorf("unknown topology preset %q", m.Preset)
+	}
+}
+
+// validateMachine rejects unbuildable machines before build() panics.
+func (m MachineSpec) validate(host string) error {
+	switch m.Preset {
+	case "dual-broadwell", "dual-skylake":
+		return nil
+	case "":
+		if m.Sockets < 1 || m.Sockets > 4 {
+			return fmt.Errorf("%s: sockets %d out of [1,4]", host, m.Sockets)
+		}
+		if m.CoresPerSocket < 1 || m.CoresPerSocket > 64 {
+			return fmt.Errorf("%s: cores per socket %d out of [1,64]", host, m.CoresPerSocket)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%s: unknown topology preset %q", host, m.Preset)
+	}
+}
+
+// sourceWorkload parses "workload:<i>" sample sources; returns -1 for
+// other shapes.
+func parseSource(src, prefix string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(src, prefix+":%d", &n); err == nil {
+		return n, true
+	}
+	return -1, false
+}
+
+// Validate rejects malformed specs with an error naming the field, so
+// a bad JSON file (or a generator bug) fails before a cluster is ever
+// assembled. It builds the topologies to range-check core and PF
+// references, and replays the fault schedule through
+// faults.(*Plan).ValidateSchedule to reject windows racing for the
+// same state.
+func (sp *Spec) Validate() error {
+	if sp.Name == "" || strings.ContainsAny(sp.Name, " \t\n") {
+		return fmt.Errorf("scenario: name %q must be non-empty without whitespace", sp.Name)
+	}
+	if (sp.Trend == nil) == (sp.Sim == nil) {
+		return fmt.Errorf("scenario %s: exactly one of trend or sim must be set", sp.Name)
+	}
+	if sp.Trend != nil {
+		return sp.validateTrend()
+	}
+	return sp.validateSim()
+}
+
+func (sp *Spec) validateTrend() error {
+	tr := sp.Trend
+	if len(tr.Rows) == 0 {
+		return fmt.Errorf("scenario %s: trend needs at least one row", sp.Name)
+	}
+	if tr.CloudPerCoreGbs <= 0 || tr.BareMetalPerCoreGbs <= 0 {
+		return fmt.Errorf("scenario %s: trend per-core bounds must be positive", sp.Name)
+	}
+	return nil
+}
+
+func (sp *Spec) validateSim() error {
+	sim := sp.Sim
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %s: %s", sp.Name, fmt.Sprintf(format, args...))
+	}
+	if _, err := parseMode(sim.Mode); err != nil {
+		return fail("%v", err)
+	}
+	if _, err := parseWiring(sim.Wiring); err != nil {
+		return fail("%v", err)
+	}
+	if err := sim.Topology.Server.validate("server topology"); err != nil {
+		return fail("%v", err)
+	}
+	if err := sim.Topology.Client.validate("client topology"); err != nil {
+		return fail("%v", err)
+	}
+	server, err := sim.Topology.Server.build()
+	if err != nil {
+		return fail("%v", err)
+	}
+	client, err := sim.Topology.Client.build()
+	if err != nil {
+		return fail("%v", err)
+	}
+	serverPFs := server.NumNodes() // one PF per socket of the bifurcated card
+
+	if sim.Retx != nil && (sim.Retx.Timeout <= 0 || sim.Retx.MaxTries < 1) {
+		return fail("retx needs a positive timeout and at least one try")
+	}
+
+	if len(sim.Workloads) == 0 {
+		return fail("sim needs at least one workload")
+	}
+	coreOK := func(t *topology.Server, node, idx int) bool {
+		return node >= 0 && node < t.NumNodes() && idx >= 0 && idx < len(t.CoresOn(topology.NodeID(node)))
+	}
+	ports := map[uint16]int{}
+	for i, w := range sim.Workloads {
+		switch w.Kind {
+		case "stream":
+			if w.Port == 0 || w.MsgSize <= 0 {
+				return fail("workload %d (stream): needs a port and a positive msg size", i)
+			}
+			if w.SinkName == "" || w.SrcName == "" {
+				return fail("workload %d (stream): needs sink and source thread names", i)
+			}
+			sinkHost, srcHost := server, client
+			if w.FromServer {
+				sinkHost, srcHost = client, server
+			}
+			if !coreOK(sinkHost, w.SinkNode, w.SinkCoreIdx) {
+				return fail("workload %d (stream): sink core node %d idx %d outside the host", i, w.SinkNode, w.SinkCoreIdx)
+			}
+			if !coreOK(srcHost, w.SrcNode, w.SrcCoreIdx) {
+				return fail("workload %d (stream): source core node %d idx %d outside the host", i, w.SrcNode, w.SrcCoreIdx)
+			}
+		case "netperf":
+			if w.Port == 0 || w.MsgSize <= 0 {
+				return fail("workload %d (netperf): needs a port and a positive msg size", i)
+			}
+			if w.Direction != "rx" && w.Direction != "tx" {
+				return fail("workload %d (netperf): direction %q (want rx or tx)", i, w.Direction)
+			}
+			if w.Instances < 1 {
+				return fail("workload %d (netperf): needs at least one instance", i)
+			}
+			if w.ServerNode < 0 || w.ServerNode >= server.NumNodes() {
+				return fail("workload %d (netperf): server node %d outside the host", i, w.ServerNode)
+			}
+			if w.Instances > len(server.CoresOn(topology.NodeID(w.ServerNode))) ||
+				w.Instances > len(client.CoresOn(0)) {
+				return fail("workload %d (netperf): %d instances exceed the per-node core pool", i, w.Instances)
+			}
+		case "memcached":
+			if w.Port == 0 {
+				return fail("workload %d (memcached): needs a port", i)
+			}
+			if w.ServerNode < 0 || w.ServerNode >= server.NumNodes() {
+				return fail("workload %d (memcached): server node %d outside the host", i, w.ServerNode)
+			}
+			if w.Clients < 1 || w.Clients > len(client.CoresOn(0)) {
+				return fail("workload %d (memcached): %d clients outside the client's node-0 pool", i, w.Clients)
+			}
+			if w.KeySize <= 0 || w.ValueSize <= 0 || w.Pipeline < 1 {
+				return fail("workload %d (memcached): needs positive key/value sizes and pipeline", i)
+			}
+			if w.SetRatio < 0 || w.SetRatio > 1 {
+				return fail("workload %d (memcached): set ratio %v out of [0,1]", i, w.SetRatio)
+			}
+		default:
+			return fail("workload %d: unknown kind %q", i, w.Kind)
+		}
+		if w.Port != 0 {
+			if prev, dup := ports[w.Port]; dup {
+				return fail("workloads %d and %d share port %d", prev, i, w.Port)
+			}
+			ports[w.Port] = i
+		}
+	}
+
+	for i, f := range sim.Faults {
+		k, err := parseFaultKind(f.Kind)
+		if err != nil {
+			return fail("fault %d: %v", i, err)
+		}
+		if f.AtPct < 0 || f.AtPct > 100 {
+			return fail("fault %d (%s): at %d%% outside the timeline", i, f.Kind, f.AtPct)
+		}
+		if f.DurPct < 0 || f.AtPct+f.DurPct > 100 {
+			return fail("fault %d (%s): window [%d%%,%d%%] outside the timeline", i, f.Kind, f.AtPct, f.AtPct+f.DurPct)
+		}
+		switch k {
+		case faults.LinkDown, faults.LinkUp, faults.LinkFlap:
+			if f.PF < 0 || f.PF >= serverPFs {
+				return fail("fault %d (%s): server has no PF %d", i, f.Kind, f.PF)
+			}
+		case faults.Loss, faults.Burst, faults.Corrupt:
+			if _, err := parseDir(f.Dir); err != nil {
+				return fail("fault %d (%s): %v", i, f.Kind, err)
+			}
+			if f.Prob < 0 || f.Prob > 1 {
+				return fail("fault %d (%s): probability %v out of [0,1]", i, f.Kind, f.Prob)
+			}
+		case faults.Degrade:
+			if f.From == f.To || f.From < 0 || f.To < 0 || f.From >= server.NumNodes() || f.To >= server.NumNodes() {
+				return fail("fault %d (degrade): link %d->%d is not a server fabric link", i, f.From, f.To)
+			}
+			if f.BWFactor <= 0 || f.LatFactor <= 0 {
+				return fail("fault %d (degrade): factors must be positive", i)
+			}
+		case faults.Stall:
+			if f.Core < 0 || f.Core >= server.NumCores() {
+				return fail("fault %d (stall): server has no core %d", i, f.Core)
+			}
+		}
+	}
+	// Structural schedule checks (overlapping windows racing for one
+	// piece of state) on a nominal timeline; the authoritative re-check
+	// with real durations happens when the plan is armed.
+	if plan := sim.faultPlan(sp.Seed, 100*time.Second); plan != nil {
+		if err := plan.ValidateSchedule(); err != nil {
+			return fail("%v", err)
+		}
+	}
+
+	streamFwd := func(i int) bool {
+		return i >= 0 && i < len(sim.Workloads) &&
+			sim.Workloads[i].Kind == "stream" && !sim.Workloads[i].FromServer
+	}
+	for i, s := range sim.Samples {
+		if s.Name == "" {
+			return fail("sample %d: needs a name", i)
+		}
+		if n, ok := parseSource(s.Source, "workload"); ok {
+			if !streamFwd(n) {
+				return fail("sample %d: source %q must name a forward stream workload (server-side state)", i, s.Source)
+			}
+			continue
+		}
+		if n, ok := parseSource(s.Source, "pf"); ok {
+			if n < 0 || n >= serverPFs {
+				return fail("sample %d: server has no PF %d", i, n)
+			}
+			continue
+		}
+		return fail("sample %d: unknown source %q", i, s.Source)
+	}
+
+	prevEnd := 0
+	for i, w := range sim.Windows {
+		if w.FromPct < 0 || w.ToPct > 100 || w.FromPct >= w.ToPct {
+			return fail("window %d (%s): [%d%%,%d%%) is not a window", i, w.Name, w.FromPct, w.ToPct)
+		}
+		if w.FromPct < prevEnd {
+			return fail("window %d (%s): overlaps or precedes the previous window", i, w.Name)
+		}
+		prevEnd = w.ToPct
+	}
+
+	octo := sim.Mode == "ioctopus"
+	for i, c := range sim.Counters {
+		if err := validateCounterSource(c.Source, serverPFs, octo); err != nil {
+			return fail("counter %d (%s): %v", i, c.Label, err)
+		}
+	}
+	if sim.Recovery != nil {
+		r := sim.Recovery
+		if len(sim.Windows) == 0 || len(sim.Samples) == 0 {
+			return fail("recovery needs at least one window and one sample")
+		}
+		if r.Sample < 0 || r.Sample >= len(sim.Samples) {
+			return fail("recovery: no sample %d", r.Sample)
+		}
+		if r.Threshold <= 0 || r.Threshold > 1 {
+			return fail("recovery: threshold %v out of (0,1]", r.Threshold)
+		}
+	}
+	for i, c := range sim.Checks {
+		if c.Name == "" {
+			return fail("check %d: needs a name", i)
+		}
+		switch c.Kind {
+		case "wire-drops-positive", "no-abandoned", "retx-recovered", "no-errors":
+		case "failover-and-back", "reposted":
+			if !octo {
+				return fail("check %d (%s): needs the ioctopus driver", i, c.Kind)
+			}
+		case "stream-conserved":
+			if c.Workload < 0 || c.Workload >= len(sim.Workloads) || sim.Workloads[c.Workload].Kind != "stream" {
+				return fail("check %d (stream-conserved): workload %d is not a stream", i, c.Workload)
+			}
+		case "progress":
+			if c.Workload < 0 || c.Workload >= len(sim.Workloads) {
+				return fail("check %d (progress): no workload %d", i, c.Workload)
+			}
+		case "window-ratio":
+			if c.Window < 0 || c.Window >= len(sim.Windows) {
+				return fail("check %d (window-ratio): no window %d", i, c.Window)
+			}
+			if c.Lo > c.Hi {
+				return fail("check %d (window-ratio): bounds [%v,%v] inverted", i, c.Lo, c.Hi)
+			}
+		default:
+			return fail("check %d: unknown kind %q", i, c.Kind)
+		}
+	}
+	return nil
+}
+
+// validateCounterSource vets one counter-table source string.
+func validateCounterSource(src string, serverPFs int, octo bool) error {
+	switch src {
+	case "faults/link_transitions", "faults/wire_drops", "nic/link_drops",
+		"stack/retx", "server/stack/dup", "stack/abandoned":
+		return nil
+	case "driver/failovers", "driver/failbacks", "driver/reposted":
+		if !octo {
+			return fmt.Errorf("source %q needs the ioctopus driver", src)
+		}
+		return nil
+	}
+	if n, ok := parseSource(src, "nic/pf"); ok && strings.HasSuffix(src, "/link_drops") {
+		_ = n
+	}
+	var pf int
+	if _, err := fmt.Sscanf(src, "nic/pf%d/link_drops", &pf); err == nil {
+		if pf < 0 || pf >= serverPFs {
+			return fmt.Errorf("server has no PF %d", pf)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown source %q", src)
+}
+
+// faultPlan converts the percent-based schedule to an absolute
+// faults.Plan over the given timeline. Nil when the spec has no
+// faults, so a fault-free scenario keeps the cluster's zero-cost
+// no-fault hooks.
+func (sim *SimSpec) faultPlan(seed int64, T time.Duration) *faults.Plan {
+	if len(sim.Faults) == 0 {
+		return nil
+	}
+	frac := func(pct int) time.Duration { return T * time.Duration(pct) / 100 }
+	plan := &faults.Plan{Seed: seed}
+	for _, f := range sim.Faults {
+		k, err := parseFaultKind(f.Kind)
+		if err != nil {
+			continue // Validate already rejected it
+		}
+		ev := faults.Event{
+			At:   frac(f.AtPct),
+			Kind: k,
+			PF:   f.PF,
+			Prob: f.Prob,
+			From: topology.NodeID(f.From), To: topology.NodeID(f.To),
+			BWFactor: f.BWFactor, LatFactor: f.LatFactor,
+			Core: topology.CoreID(f.Core),
+		}
+		if f.Dir != "" {
+			if d, err := parseDir(f.Dir); err == nil {
+				ev.Dir = d
+			}
+		}
+		if f.DurPct > 0 {
+			ev.Duration = frac(f.DurPct)
+		} else {
+			ev.Duration = f.Dur
+		}
+		plan.Events = append(plan.Events, ev)
+	}
+	return plan
+}
+
+// Marshal renders the spec as indented JSON (the on-disk form
+// -scenario loads).
+func (sp *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(sp, "", "  ")
+}
+
+// Parse decodes and validates a JSON spec. Unknown fields are errors:
+// a typo in a check name must not silently weaken a scenario.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// Load resolves a -scenario argument: a builtin name, or a path to a
+// JSON spec file.
+func Load(nameOrPath string) (*Spec, error) {
+	if sp, ok := builtins[nameOrPath]; ok {
+		return sp(), nil
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %q is neither a builtin (%s) nor a readable file: %w",
+			nameOrPath, strings.Join(Builtins(), ", "), err)
+	}
+	return Parse(data)
+}
+
+// builtins are the named specs shipped with the repo: the declarative
+// ports of the hand-wired runners they are byte-identity-pinned
+// against.
+var builtins = map[string]func() *Spec{
+	"fig2":  Fig2,
+	"chaos": Chaos,
+}
+
+// Builtins lists the builtin scenario names, sorted.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fig2 is the declarative port of the hand-wired fig2 runner: the §2.6
+// technology-trend dataset as data. Running it is byte-identical to
+// `ioctobench -fig fig2` (pinned by TestBuiltinsMatchHandWiredRunners
+// and the scripts/check.sh scenario gate).
+func Fig2() *Spec {
+	return &Spec{
+		Name:  "fig2",
+		Title: "NIC vs CPU bandwidth trend, 2008-2020 (§2.6)",
+		Trend: &TrendSpec{
+			TableTitle: "Figure 2: throughput [Gb/s]",
+			Rows: []TrendRow{
+				{2008, "10GbE", 20, 40, 4},
+				{2010, "10GbE", 20, 40, 8},
+				{2012, "40GbE", 80, 160, 10},
+				{2014, "100GbE", 200, 400, 12},
+				{2016, "100GbE", 200, 400, 18},
+				{2017, "100GbE", 200, 400, 24},
+				{2018, "200GbE", 400, 800, 28},
+				{2019, "200GbE", 400, 800, 32},
+				{2020, "400GbE", 800, 1600, 48},
+			},
+			CloudPerCoreGbs:          0.513,
+			BareMetalPerCoreGbs:      10.0,
+			SingleExceedsCloudName:   "single-port NIC always exceeds measured cloud per-CPU demand",
+			SingleExceedsCloudDetail: "NIC line above 513 Mb/s-per-core CPU line for every year",
+			DualCoversAggressiveName: "dual-port NIC covers even the 10 Gb/s-per-core bound in most years",
+			Notes: []string{
+				"static dataset reconstructed from the figure's cited sources; no simulation involved",
+			},
+		},
+	}
+}
+
+// Chaos is the declarative port of the hand-wired chaos harness
+// (experiments/chaos.go): the same fault schedule, streams, windows,
+// counters and checks as data. Running it is byte-identical to
+// `ioctobench -fig chaos` at any durations and shard count.
+func Chaos() *Spec {
+	return &Spec{
+		Name:  "chaos",
+		Title: "fault injection: PF failover + retransmission under a seeded schedule",
+		Seed:  42,
+		Sim: &SimSpec{
+			Topology: TopoSpec{
+				Server: MachineSpec{Preset: "dual-broadwell"},
+				Client: MachineSpec{Preset: "dual-broadwell"},
+			},
+			Mode: "ioctopus",
+			Retx: &RetxSpec{Timeout: 2 * time.Millisecond, MaxTries: 12},
+			Workloads: []WorkloadSpec{
+				{
+					Kind: "stream", Port: 7, MsgSize: 65536,
+					SinkName: "netserver", SrcName: "netperf",
+					SinkNode: 0, SinkCoreIdx: 0, SrcNode: 0, SrcCoreIdx: 0,
+				},
+				{
+					Kind: "stream", FromServer: true, Port: 9, MsgSize: 65536,
+					SinkName: "revsink", SrcName: "revsrc",
+					SinkNode: 0, SinkCoreIdx: 1, SrcNode: 0, SrcCoreIdx: 1,
+				},
+			},
+			Faults: []FaultSpec{
+				{Kind: "link-flap", AtPct: 30, PF: 0, DurPct: 20},
+				{Kind: "loss", AtPct: 55, Dir: "client-to-server", Prob: 0.02, DurPct: 10},
+				{Kind: "burst", AtPct: 58, Dir: "server-to-client", DurPct: 2},
+				{Kind: "stall", AtPct: 62, Core: 0, Dur: time.Millisecond},
+				{Kind: "degrade", AtPct: 68, From: 0, To: 1, BWFactor: 0.5, LatFactor: 2, DurPct: 10},
+			},
+			Samples: []SampleSpec{
+				{Name: "delivered Gb/s", Source: "workload:0"},
+				{Name: "pf0 Gb/s", Source: "pf:0"},
+				{Name: "pf1 Gb/s", Source: "pf:1"},
+			},
+			Windows: []WindowSpec{
+				{Name: "pre-fault", FromPct: 10, ToPct: 30},
+				{Name: "PF0 dead, failover", FromPct: 35, ToPct: 48},
+				{Name: "recovered", FromPct: 80, ToPct: 100},
+			},
+			WindowTable: "chaos recovery summary",
+			Counters: []CounterSpec{
+				{Label: "faults: link transitions", Source: "faults/link_transitions"},
+				{Label: "faults: frames dropped on wire", Source: "faults/wire_drops"},
+				{Label: "nic: frames dropped at dead PF0", Source: "nic/pf0/link_drops"},
+				{Label: "driver: failovers", Source: "driver/failovers"},
+				{Label: "driver: failbacks", Source: "driver/failbacks"},
+				{Label: "driver: descriptors reposted", Source: "driver/reposted"},
+				{Label: "stack: segments retransmitted", Source: "stack/retx"},
+				{Label: "stack: duplicate segments discarded", Source: "server/stack/dup"},
+				{Label: "stack: segments abandoned", Source: "stack/abandoned"},
+			},
+			CounterTable: "fault and recovery counters",
+			Recovery: &RecoverySpec{
+				Sample: 0, FaultFromPct: 30, FaultToPct: 80,
+				RecoverAfterPct: 50, Threshold: 0.95,
+			},
+			Checks: []CheckSpec{
+				{Kind: "wire-drops-positive", Name: "faults actually dropped traffic"},
+				{Kind: "failover-and-back", Name: "driver failed over and back"},
+				{Kind: "reposted", Name: "driver reposted stranded Tx descriptors", Min: 1},
+				{Kind: "retx-recovered", Name: "retransmission recovered lost segments", Min: 1},
+				{Kind: "no-abandoned", Name: "no segment abandoned"},
+				{Kind: "stream-conserved", Name: "zero end-to-end loss forward (gap <= in-flight bound)", Workload: 0},
+				{Kind: "stream-conserved", Name: "zero end-to-end loss reverse (gap <= in-flight bound)", Workload: 1},
+				{Kind: "window-ratio", Name: "throughput during failover (PF1 serving) vs pre", Window: 1, Lo: 0.95, Hi: 2.5},
+				{Kind: "window-ratio", Name: "throughput after recovery vs pre", Window: 2, Lo: 0.95, Hi: 1.10},
+			},
+		},
+	}
+}

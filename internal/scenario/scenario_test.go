@@ -1,0 +1,204 @@
+package scenario_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ioctopus/internal/experiments"
+	"ioctopus/internal/scenario"
+)
+
+// chaosTestDurations matches the reduced timeline the experiments
+// package's own determinism test uses: long enough for failover and
+// retransmission to play out, short enough for CI.
+func chaosTestDurations() experiments.Durations {
+	return experiments.Durations{
+		Timeline:    200 * time.Millisecond,
+		SampleEvery: 5 * time.Millisecond,
+	}
+}
+
+// TestBuiltinsMatchHandWiredRunners is the port's proof obligation: the
+// declarative fig2 and chaos specs must render byte-identically to the
+// hand-wired runners they replace.
+func TestBuiltinsMatchHandWiredRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs take a few seconds")
+	}
+	for _, tc := range []struct {
+		id string
+		d  experiments.Durations
+	}{
+		{"fig2", experiments.Quick()},
+		{"chaos", chaosTestDurations()},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			want, err := experiments.Run(tc.id, tc.d)
+			if err != nil {
+				t.Fatalf("hand-wired runner: %v", err)
+			}
+			sp, err := scenario.Load(tc.id)
+			if err != nil {
+				t.Fatalf("builtin spec: %v", err)
+			}
+			got, err := scenario.Run(sp, tc.d)
+			if err != nil {
+				t.Fatalf("scenario run: %v", err)
+			}
+			if got.Render() != want.Render() {
+				t.Errorf("scenario output diverges from the hand-wired runner\n--- hand-wired ---\n%s\n--- scenario ---\n%s",
+					want.Render(), got.Render())
+			}
+		})
+	}
+}
+
+// TestJSONRoundTrip: marshal → unmarshal must reproduce the spec
+// exactly, and running the round-tripped spec must render
+// byte-identically to running the original Go literal.
+func TestJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("round-trip runs a full chaos timeline")
+	}
+	for _, tc := range []struct {
+		name string
+		sp   *scenario.Spec
+		d    experiments.Durations
+	}{
+		{"fig2", scenario.Fig2(), experiments.Quick()},
+		{"chaos", scenario.Chaos(), chaosTestDurations()},
+		{"generated", scenario.Generate(7), scenario.FuzzDurations()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := tc.sp.Marshal()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := scenario.Parse(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if !reflect.DeepEqual(tc.sp, back) {
+				t.Fatalf("round-tripped spec differs from the literal:\n%s", data)
+			}
+			a, err := scenario.Run(tc.sp, tc.d)
+			if err != nil {
+				t.Fatalf("literal run: %v", err)
+			}
+			b, err := scenario.Run(back, tc.d)
+			if err != nil {
+				t.Fatalf("round-trip run: %v", err)
+			}
+			if a.Render() != b.Render() {
+				t.Error("round-tripped spec renders differently from the literal")
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic: the generator is a pure function of its
+// seed, and so is a full run of what it generates.
+func TestGenerateDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(scenario.Generate(3), scenario.Generate(3)) {
+		t.Fatal("Generate(3) differs between calls")
+	}
+	if reflect.DeepEqual(scenario.Generate(3), scenario.Generate(4)) {
+		t.Fatal("different seeds produced identical specs")
+	}
+	if testing.Short() {
+		t.Skip("double fuzz run takes a few seconds")
+	}
+	sp := scenario.Generate(3)
+	a, err := scenario.Run(sp, scenario.FuzzDurations())
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := scenario.Run(scenario.Generate(3), scenario.FuzzDurations())
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("same-seed fuzz runs are not byte-identical")
+	}
+}
+
+// TestGenerateAlwaysValid sweeps seeds: every generated spec must pass
+// the same validation gate a hand-written JSON file faces.
+func TestGenerateAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		if err := scenario.Generate(seed).Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFuzzInvariantsHold runs a handful of generated scenarios
+// end-to-end and requires every declared invariant to pass — the
+// in-process version of the check.sh fuzz gate.
+func TestFuzzInvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz runs take a few seconds")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		sp := scenario.Generate(seed)
+		r, err := scenario.Run(sp, scenario.FuzzDurations())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.Passed() {
+			t.Errorf("seed %d: invariant failed\n%s", seed, r.Render())
+		}
+	}
+}
+
+// TestValidateRejects spot-checks the validator's coverage: each
+// mutation must be named in the error.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*scenario.Spec)
+		want string
+	}{
+		{"bad mode", func(sp *scenario.Spec) { sp.Sim.Mode = "turbo" }, "unknown mode"},
+		{"bad wiring", func(sp *scenario.Spec) { sp.Sim.Wiring = "duct-tape" }, "unknown wiring"},
+		{"no workloads", func(sp *scenario.Spec) { sp.Sim.Workloads = nil }, "at least one workload"},
+		{"bad fault kind", func(sp *scenario.Spec) { sp.Sim.Faults[0].Kind = "gremlin" }, "unknown fault kind"},
+		{"fault past end", func(sp *scenario.Spec) { sp.Sim.Faults[0].AtPct = 95; sp.Sim.Faults[0].DurPct = 20 }, "outside the timeline"},
+		{"bad pf", func(sp *scenario.Spec) { sp.Sim.Faults[0].PF = 9 }, "no PF 9"},
+		{"overlapping windows", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults, sp.Sim.Faults[1]) // second loss window on the same direction
+		}, "overlapping"},
+		{"sample names tx stream", func(sp *scenario.Spec) { sp.Sim.Samples[0].Source = "workload:1" }, "forward stream"},
+		{"window order", func(sp *scenario.Spec) { sp.Sim.Windows[1].FromPct = 5 }, "overlaps or precedes"},
+		{"check without window", func(sp *scenario.Spec) { sp.Sim.Checks[7].Window = 9 }, "no window 9"},
+		{"duplicate port", func(sp *scenario.Spec) { sp.Sim.Workloads[1].Port = sp.Sim.Workloads[0].Port }, "share port"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := scenario.Chaos()
+			tc.mut(sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatal("validator accepted a malformed spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadResolvesBuiltinsAndRejectsJunk covers the -scenario argument
+// resolution path.
+func TestLoadResolvesBuiltinsAndRejectsJunk(t *testing.T) {
+	for _, name := range scenario.Builtins() {
+		if _, err := scenario.Load(name); err != nil {
+			t.Errorf("builtin %s: %v", name, err)
+		}
+	}
+	if _, err := scenario.Load("no-such-scenario-or-file"); err == nil {
+		t.Error("Load accepted a bogus name")
+	}
+}

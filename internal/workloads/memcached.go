@@ -79,6 +79,7 @@ type Memcached struct {
 	txns     uint64
 	baseline uint64
 	slab     *memsys.Buffer
+	errs     errList
 }
 
 // StartMemcached launches server and clients.
@@ -142,7 +143,8 @@ func StartMemcached(cl *core.Cluster, cfg MemcachedConfig) *Memcached {
 		cl.Client.Kernel.Spawn("memslap", coreID, func(th *kernel.Thread) {
 			sock, err := cl.Client.Stack.Dial(th, cfg.ServerIP, cfg.Port, eth.ProtoTCP)
 			if err != nil {
-				panic(err)
+				w.errs.add("memslap instance %d: %v", i, err)
+				return
 			}
 			rng := cl.RNG.Fork(int64(i))
 			// Pipelined request issue: keep cfg.Pipeline requests in
@@ -184,3 +186,6 @@ func (w *Memcached) MeasureStart() { w.baseline = w.txns }
 
 // Transactions returns operations completed since MeasureStart.
 func (w *Memcached) Transactions() uint64 { return w.txns - w.baseline }
+
+// Errors returns failures recorded by the workload's goroutines.
+func (w *Memcached) Errors() []string { return w.errs.all() }

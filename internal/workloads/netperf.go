@@ -7,6 +7,8 @@
 package workloads
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"ioctopus/internal/core"
@@ -16,6 +18,44 @@ import (
 	"ioctopus/internal/netstack"
 	"ioctopus/internal/topology"
 )
+
+// errList collects workload-goroutine failures (a Dial refused because
+// the run's fault plan or topology broke the path) so the harness can
+// fail the run's checks instead of the goroutine crashing the process.
+// It is mutex-guarded: a workload's dialing threads all live on one
+// host (one engine shard), but cheap safety here beats an invariant
+// comment three packages away.
+type errList struct {
+	mu   sync.Mutex
+	errs []string
+}
+
+func (el *errList) add(format string, args ...any) {
+	el.mu.Lock()
+	el.errs = append(el.errs, fmt.Sprintf(format, args...))
+	el.mu.Unlock()
+}
+
+// all returns the recorded failures, oldest first.
+func (el *errList) all() []string {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return append([]string(nil), el.errs...)
+}
+
+// nextCoreOn returns the core after c on c's own node, wrapping within
+// that node — the testbed's "softirq core and app core are neighbours"
+// placement, derived from the topology instead of a hardcoded
+// cores-per-host constant.
+func nextCoreOn(topo *topology.Server, c topology.CoreID) topology.CoreID {
+	peers := topo.CoresOn(topo.NodeOf(c))
+	for i, p := range peers {
+		if p.ID == c {
+			return peers[(i+1)%len(peers)].ID
+		}
+	}
+	return c
+}
 
 // Direction of a stream test, from the server's perspective.
 type Direction int
@@ -50,6 +90,7 @@ type Stream struct {
 	cfg      StreamConfig
 	received []int64 // per instance, measured at the receiving app
 	baseline []int64
+	errs     errList
 }
 
 // StartStream launches the instances. Call MeasureStart after warmup
@@ -59,9 +100,13 @@ func StartStream(cl *core.Cluster, cfg StreamConfig) *Stream {
 		cfg.Port = 12000
 	}
 	if len(cfg.ClientCores) == 0 {
+		// Default placement: the client's NIC-local (node 0) cores,
+		// round-robin — sized by the actual topology, not a hardcoded
+		// cores-per-host count.
+		pool := cl.Client.Topo.CoresOn(0)
 		cfg.ClientCores = make([]topology.CoreID, len(cfg.ServerCores))
 		for i := range cfg.ClientCores {
-			cfg.ClientCores[i] = topology.CoreID(i % 14)
+			cfg.ClientCores[i] = pool[i%len(pool)].ID
 		}
 	}
 	w := &Stream{
@@ -90,7 +135,8 @@ func StartStream(cl *core.Cluster, cfg StreamConfig) *Stream {
 			cl.Client.Kernel.Spawn("netperf", cfg.ClientCores[i], func(th *kernel.Thread) {
 				sock, err := cl.Client.Stack.Dial(th, cfg.ServerIP, port, eth.ProtoTCP)
 				if err != nil {
-					panic(err)
+					w.errs.add("netperf instance %d: %v", i, err)
+					return
 				}
 				for {
 					sock.Send(th, cfg.MsgSize)
@@ -98,9 +144,10 @@ func StartStream(cl *core.Cluster, cfg StreamConfig) *Stream {
 			})
 		case Tx:
 			// Server transmits: sink on the client; per the testbed the
-			// client splits softirq and app across its NIC-local cores.
+			// client splits softirq and app across the sink's NUMA-local
+			// cores.
 			sinkCore := cfg.ClientCores[i]
-			appCore := topology.CoreID((int(sinkCore) + 1) % 14)
+			appCore := nextCoreOn(cl.Client.Topo, sinkCore)
 			cl.Client.Stack.Listen(port, func(s *netstack.Socket) {
 				s.SteerTo(sinkCore)
 				cl.Client.Kernel.Spawn("netserver", appCore, func(th *kernel.Thread) {
@@ -116,7 +163,8 @@ func StartStream(cl *core.Cluster, cfg StreamConfig) *Stream {
 			cl.Server.Kernel.Spawn("netperf", cfg.ServerCores[i], func(th *kernel.Thread) {
 				sock, err := cl.Server.Stack.Dial(th, core.IPClient, port, eth.ProtoTCP)
 				if err != nil {
-					panic(err)
+					w.errs.add("netperf instance %d: %v", i, err)
+					return
 				}
 				for {
 					sock.Send(th, cfg.MsgSize)
@@ -142,6 +190,11 @@ func (w *Stream) Bytes() int64 {
 	return total
 }
 
+// Errors returns failures recorded by the workload's goroutines (a
+// refused Dial, a missing route); a non-empty list must fail the run's
+// checks. Read it after the simulation window, not mid-run.
+func (w *Stream) Errors() []string { return w.errs.all() }
+
 // RRConfig configures a netperf TCP_RR (request/response) instance.
 type RRConfig struct {
 	MsgSize    int64
@@ -156,6 +209,7 @@ type RRConfig struct {
 type RR struct {
 	Hist      *metrics.Histogram
 	measuring bool
+	errs      errList
 }
 
 // StartRR launches the ping-pong pair. Call MeasureStart after warmup;
@@ -183,7 +237,8 @@ func StartRR(cl *core.Cluster, cfg RRConfig) *RR {
 	cl.Client.Kernel.Spawn("rr-client", cfg.ClientCore, func(th *kernel.Thread) {
 		sock, err := cl.Client.Stack.Dial(th, cfg.ServerIP, cfg.Port, cfg.Proto)
 		if err != nil {
-			panic(err)
+			w.errs.add("rr client: %v", err)
+			return
 		}
 		for {
 			t0 := th.Now()
@@ -215,3 +270,6 @@ func (w *RR) Transactions() int { return w.Hist.Count() }
 
 // Mean returns the mean measured RTT.
 func (w *RR) Mean() time.Duration { return w.Hist.Mean() }
+
+// Errors returns failures recorded by the workload's goroutines.
+func (w *RR) Errors() []string { return w.errs.all() }

@@ -249,3 +249,124 @@ func TestMemcachedRemoteSlower(t *testing.T) {
 		t.Fatalf("local/remote = %.3f (%d vs %d), want > 1", float64(local)/float64(remote), local, remote)
 	}
 }
+
+// TestTxAppCorePlacementDerivesFromTopology pins the fix for the
+// hardcoded `% 14` wrap: the Tx sink's app core must be the next core
+// on the sink's own node for any topology, not an id modulo the
+// Broadwell core count.
+func TestTxAppCorePlacementDerivesFromTopology(t *testing.T) {
+	topo := topology.DualBroadwell()
+	cases := []struct {
+		sink, want topology.CoreID
+	}{
+		{0, 1},   // node 0 interior
+		{13, 0},  // node 0 boundary wraps within node 0, not onto 14
+		{15, 16}, // node 1 interior (old code said (15+1)%14 = 2: node 0!)
+		{27, 14}, // node 1 boundary wraps back to node 1's first core
+	}
+	for _, c := range cases {
+		if got := nextCoreOn(topo, c.sink); got != c.want {
+			t.Errorf("nextCoreOn(dual-broadwell, %d) = %d, want %d", c.sink, got, c.want)
+		}
+	}
+	small := topology.SingleSocket(4)
+	if got := nextCoreOn(small, 3); got != 0 {
+		t.Errorf("nextCoreOn(single-socket-4, 3) = %d, want 0", got)
+	}
+}
+
+// TestStreamTxOnSmallTopology runs the Tx path end to end on a client
+// with fewer cores than the hardcoded wrap assumed; before the fix the
+// derived app core did not exist and Spawn panicked.
+func TestStreamTxOnSmallTopology(t *testing.T) {
+	cl := core.NewCluster(core.Config{
+		Mode:       core.ModeStandard,
+		ClientTopo: topology.SingleSocket(4),
+	})
+	w := StartStream(cl, StreamConfig{
+		MsgSize: 64 * 1024, Direction: Tx,
+		ServerCores: []topology.CoreID{0},
+		ClientCores: []topology.CoreID{3}, // last client core: wrap required
+		ServerIP:    core.IPServerPF0,
+	})
+	cl.Run(5 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(10 * time.Millisecond)
+	cl.Drain()
+	if w.Bytes() == 0 {
+		t.Fatal("Tx stream on a 4-core client made no progress")
+	}
+	if errs := w.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected workload errors: %v", errs)
+	}
+}
+
+// TestStreamDefaultClientCoresFollowTopology: the default client-core
+// pool must be sized by the client's actual node-0 core count.
+func TestStreamDefaultClientCoresFollowTopology(t *testing.T) {
+	cl := core.NewCluster(core.Config{
+		Mode:       core.ModeIOctopus,
+		ClientTopo: topology.SingleSocket(2),
+	})
+	w := StartStream(cl, StreamConfig{
+		MsgSize: 64 * 1024, Direction: Rx,
+		ServerCores: []topology.CoreID{0, 1, 2},
+		ServerIP:    core.IPServerPF0,
+	})
+	cl.Run(5 * time.Millisecond)
+	w.MeasureStart()
+	cl.Run(10 * time.Millisecond)
+	cl.Drain()
+	if w.Bytes() == 0 {
+		t.Fatal("stream with defaulted client cores on a 2-core client made no progress")
+	}
+}
+
+// TestDialFailureIsRecordedNotFatal: a workload whose connect phase
+// cannot reach the server must record the failure for the run's checks
+// instead of panicking the process.
+func TestDialFailureIsRecordedNotFatal(t *testing.T) {
+	const unroutable = 0x0B0B0B0B // 11.11.11.11: no device owns it
+
+	t.Run("stream", func(t *testing.T) {
+		cl := core.NewCluster(core.Config{Mode: core.ModeIOctopus})
+		w := StartStream(cl, StreamConfig{
+			MsgSize: 64 * 1024, Direction: Rx,
+			ServerCores: []topology.CoreID{0},
+			ServerIP:    unroutable,
+		})
+		cl.Run(5 * time.Millisecond)
+		cl.Drain()
+		if errs := w.Errors(); len(errs) == 0 {
+			t.Fatal("dial failure left Errors() empty")
+		}
+		if w.Bytes() != 0 {
+			t.Fatalf("unconnected stream claims %d bytes", w.Bytes())
+		}
+	})
+
+	t.Run("rr", func(t *testing.T) {
+		cl := core.NewCluster(core.Config{Mode: core.ModeIOctopus})
+		w := StartRR(cl, RRConfig{
+			MsgSize: 64, ServerCore: 0, ClientCore: 0, ServerIP: unroutable,
+		})
+		cl.Run(5 * time.Millisecond)
+		cl.Drain()
+		if errs := w.Errors(); len(errs) == 0 {
+			t.Fatal("dial failure left Errors() empty")
+		}
+	})
+
+	t.Run("memcached", func(t *testing.T) {
+		cl := core.NewCluster(core.Config{Mode: core.ModeIOctopus})
+		cfg := DefaultMemcachedConfig(0, cl)
+		cfg.ServerIP = unroutable
+		cfg.ClientCores = cfg.ClientCores[:2]
+		w := StartMemcached(cl, cfg)
+		cl.Run(5 * time.Millisecond)
+		cl.Drain()
+		if errs := w.Errors(); len(errs) == 0 {
+			t.Fatal("dial failure left Errors() empty")
+		}
+	})
+}

@@ -33,6 +33,7 @@ import (
 	"ioctopus/internal/netstack"
 	"ioctopus/internal/nvme"
 	"ioctopus/internal/pcie"
+	"ioctopus/internal/scenario"
 	"ioctopus/internal/topology"
 	"ioctopus/internal/workloads"
 )
@@ -247,6 +248,37 @@ func RegistrySnapshots(d Durations) []RegistrySnapshot {
 // ValidateReport checks that data is a well-formed report of the
 // current schema version.
 func ValidateReport(data []byte) error { return experiments.ValidateReport(data) }
+
+// Scenario is a declarative experiment: topology, NIC mode and wiring,
+// workload mix, fault schedule, and checks, as validated data (a Go
+// literal or a JSON file) instead of a hand-wired runner.
+type Scenario = scenario.Spec
+
+// LoadScenario resolves a -scenario argument: a builtin name
+// (ScenarioNames lists them) or a path to a JSON spec file; the spec is
+// validated before it is returned.
+func LoadScenario(nameOrPath string) (*Scenario, error) { return scenario.Load(nameOrPath) }
+
+// ParseScenario decodes and validates a JSON scenario spec.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario executes a validated scenario. The run is a pure function
+// of (spec, durations, Shards()): same inputs, byte-identical output.
+func RunScenario(sp *Scenario, d Durations) (*ExperimentResult, error) {
+	return scenario.Run(sp, d)
+}
+
+// GenerateScenario draws a random but always-valid scenario from a
+// seed — the property-based "simulation fuzzing" entry point behind
+// ioctobench -fuzz. Same seed, same spec, same run output.
+func GenerateScenario(seed int64) *Scenario { return scenario.Generate(seed) }
+
+// FuzzDurations returns the measurement windows fuzz runs use.
+func FuzzDurations() Durations { return scenario.FuzzDurations() }
+
+// ScenarioNames lists the builtin scenario specs (the declarative
+// ports of fig2 and the chaos harness).
+func ScenarioNames() []string { return scenario.Builtins() }
 
 // SetParallelism bounds how many simulation points (independent
 // clusters) the experiment harness runs concurrently. Results are

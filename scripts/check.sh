@@ -50,6 +50,24 @@ go run ./cmd/ioctobench -fig chaos -quick -shards 2 -json "$tmp/chaos_sharded.js
 cmp "$tmp/chaos1.txt" "$tmp/chaos_sharded.txt"
 cmp "$tmp/chaos1.json" "$tmp/chaos_sharded.json"
 
+# Scenario parity gate: the declarative specs must reproduce the
+# hand-wired runners byte for byte — -scenario fig2/chaos is the same
+# experiment expressed as data.
+go run ./cmd/ioctobench -fig fig2 -quick > "$tmp/fig2_wired.txt"
+go run ./cmd/ioctobench -scenario fig2 -quick > "$tmp/fig2_spec.txt"
+cmp "$tmp/fig2_wired.txt" "$tmp/fig2_spec.txt"
+go run ./cmd/ioctobench -scenario chaos -quick > "$tmp/chaos_spec.txt"
+cmp "$tmp/chaos1.txt" "$tmp/chaos_spec.txt"
+
+# Fuzz smoke gate: a pinned batch of generated scenarios must pass all
+# declared invariants (exit 0) and replay byte-identically — both on a
+# second run and under the sharded engine.
+go run ./cmd/ioctobench -fuzz 8 -seed 1 > "$tmp/fuzz1.txt"
+go run ./cmd/ioctobench -fuzz 8 -seed 1 > "$tmp/fuzz2.txt"
+cmp "$tmp/fuzz1.txt" "$tmp/fuzz2.txt"
+go run ./cmd/ioctobench -fuzz 8 -seed 1 -shards 2 > "$tmp/fuzz_sharded.txt"
+cmp "$tmp/fuzz1.txt" "$tmp/fuzz_sharded.txt"
+
 # Bench gate: the packet-path benchmarks must stay within the allocs/op
 # thresholds recorded in BENCH_sim.json (the "gate" section).
 evr_max="$(sed -n 's/.*"BenchmarkSimulatorEventRate_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
