@@ -12,6 +12,7 @@
 //	ioctobench -fig fig6
 //	ioctobench -fig all -quick -parallel 8
 //	ioctobench -fig all -quick -shards 2
+//	ioctobench -fig pmd -quick -datapath busypoll
 //	ioctobench -fig fig14 -o fig14.txt
 //	ioctobench -fig all -quick -json report.json
 //	ioctobench -fig fig6 -profile ./prof
@@ -45,6 +46,8 @@ func main() {
 			"max simulations in flight (1 = fully serial); results are identical at any level")
 		shards = flag.Int("shards", 1,
 			"engine shards per simulated cluster (1 = serial engine; 2 = one shard per host); results are identical at any value")
+		datapathArg = flag.String("datapath", "interrupt",
+			"server completion datapath: interrupt (NAPI, the default), busypoll (poll-mode cores), or hybrid (adaptive polling)")
 		scenarioArg = flag.String("scenario", "",
 			"run a declarative scenario: a builtin name (fig2, chaos) or a path to a JSON spec file")
 		fuzzN = flag.Int("fuzz", 0,
@@ -91,9 +94,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ioctobench: -shards %d is invalid; need at least 1 engine shard\n", *shards)
 		os.Exit(2)
 	}
+	datapath, err := ioctopus.ParseDatapath(*datapathArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioctobench: %v\n", err)
+		os.Exit(2)
+	}
 
 	ioctopus.SetParallelism(*parallel)
 	ioctopus.SetShards(*shards)
+	ioctopus.SetDatapath(datapath)
 
 	d := ioctopus.FullDurations()
 	if *quick {

@@ -52,6 +52,22 @@ func (m NICMode) String() string {
 	}
 }
 
+// Datapath selects how the server drivers consume NIC completions:
+// interrupt/NAPI (the default), the busy-poll PMD loop, or hybrid
+// adaptive polling (see internal/driver/pmd.go).
+type Datapath = driver.Datapath
+
+// Datapaths.
+const (
+	DatapathInterrupt = driver.DatapathInterrupt
+	DatapathBusyPoll  = driver.DatapathBusyPoll
+	DatapathHybrid    = driver.DatapathHybrid
+)
+
+// ParseDatapath maps the CLI/scenario spelling ("", "interrupt",
+// "busypoll", "hybrid") to a Datapath.
+func ParseDatapath(s string) (Datapath, error) { return driver.ParseDatapath(s) }
+
 // Well-known addresses of the testbed.
 const (
 	IPServerPF0 uint32 = 0x0A000001 // 10.0.0.1 — standard netdev on PF0 / octo netdev
@@ -80,6 +96,11 @@ type Config struct {
 	// DriverParams overrides the server drivers' defaults (the §2.4
 	// remote-DDIO measurement homes completion rings on the NIC node).
 	DriverParams *driver.Params
+	// Datapath selects the server drivers' completion delivery:
+	// interrupt/NAPI (the zero value — byte-identical to a config that
+	// predates the field), busypoll, or hybrid. The client machine
+	// always runs the interrupt path, as the paper's testbed did.
+	Datapath Datapath
 	// StackParams overrides both hosts' netstack defaults (the chaos
 	// experiment enables retransmission via RetxTimeout/RetxMaxTries).
 	StackParams *netstack.Params
@@ -227,6 +248,25 @@ func ValidateConfig(cfg Config) error {
 			return fmt.Errorf("core: completion rings homed on node %d but the server has %d nodes", n, cfg.ServerTopo.NumNodes())
 		}
 	}
+	dp := cfg.Datapath
+	if dp == DatapathInterrupt && cfg.DriverParams != nil {
+		dp = cfg.DriverParams.Datapath
+	}
+	switch dp {
+	case DatapathInterrupt, DatapathHybrid:
+	case DatapathBusyPoll:
+		// Busy-polling dedicates the last core of every server node to
+		// the PMD loop; a single-core node would hand its only core to
+		// the poller and leave nothing to run applications.
+		for n := 0; n < cfg.ServerTopo.NumNodes(); n++ {
+			if len(cfg.ServerTopo.CoresOn(topology.NodeID(n))) < 2 {
+				return fmt.Errorf("core: busypoll datapath needs >= 2 cores per server node (node %d has %d; the poll core would starve the workload)",
+					n, len(cfg.ServerTopo.CoresOn(topology.NodeID(n))))
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown datapath %v", dp)
+	}
 	return nil
 }
 
@@ -325,10 +365,17 @@ func NewClusterE(cfg Config) (*Cluster, error) {
 	if cfg.DriverParams != nil {
 		drvParams = *cfg.DriverParams
 	}
+	if cfg.Datapath != driver.DatapathInterrupt {
+		drvParams.Datapath = cfg.Datapath
+	}
 
-	// Client side: always the standard single-PF driver.
+	// Client side: always the standard single-PF driver, always the
+	// interrupt datapath (the paper's client machine is stock Linux; the
+	// datapath axis is a server-side experiment).
+	clientParams := drvParams
+	clientParams.Datapath = driver.DatapathInterrupt
 	cl.Client.NIC.LoadFirmware(nic.NewStandardFirmware(cl.Client.NIC))
-	cDrv := driver.NewStandard(cl.Client.Kernel, cl.Client.Mem, cl.Client.NIC.PF(0), "eth0", drvParams)
+	cDrv := driver.NewStandard(cl.Client.Kernel, cl.Client.Mem, cl.Client.NIC.PF(0), "eth0", clientParams)
 	cDrv.Bind(cl.Client.Stack)
 	cl.Client.Stack.AddDevice(cDrv, IPClient)
 	cl.ClientDev = cDrv

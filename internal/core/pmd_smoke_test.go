@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ioctopus/internal/core"
+	"ioctopus/internal/topology"
+	"ioctopus/internal/workloads"
+)
+
+// TestPMDSmoke runs a short Rx stream under each poll-mode datapath and
+// checks the cluster moves bytes and the drivers report pmd/ activity —
+// the core-level sanity check under the pmd figure's full sweep.
+func TestPMDSmoke(t *testing.T) {
+	for _, dp := range []core.Datapath{core.DatapathBusyPoll, core.DatapathHybrid} {
+		t.Run(dp.String(), func(t *testing.T) {
+			cl := core.NewCluster(core.Config{Mode: core.ModeStandard, Datapath: dp})
+			defer cl.Drain()
+			w := workloads.StartStream(cl, workloads.StreamConfig{
+				MsgSize: 65536, Direction: workloads.Rx,
+				ServerCores: []topology.CoreID{0}, ServerIP: core.IPServerPF0,
+			})
+			cl.Run(5 * time.Millisecond)
+			w.MeasureStart()
+			cl.Run(10 * time.Millisecond)
+			if w.Bytes() == 0 {
+				t.Fatalf("%s moved no bytes", dp)
+			}
+			t.Logf("%s: %.2f Gb/s", dp, float64(w.Bytes())*8/0.010/1e9)
+			var polls, bursts float64
+			for _, s := range cl.Reg.Snapshot() {
+				if !strings.HasPrefix(s.Name, "server/") || !strings.Contains(s.Name, "/pmd/") {
+					continue
+				}
+				switch {
+				case strings.HasSuffix(s.Name, "/polls"):
+					polls += s.Value
+				case strings.HasSuffix(s.Name, "/bursts"):
+					bursts += s.Value
+				}
+			}
+			if polls == 0 || bursts == 0 {
+				t.Fatalf("%s: pmd counters flat (%.0f polls, %.0f bursts)", dp, polls, bursts)
+			}
+		})
+	}
+}

@@ -47,6 +47,19 @@ type Params struct {
 	// remote-DDIO measurement allocates response rings local to the
 	// device instead.
 	CompRingNode topology.NodeID
+	// Datapath selects interrupt/NAPI delivery (the default), the
+	// busy-poll PMD loop, or adaptive hybrid polling (see pmd.go).
+	Datapath Datapath
+	// BurstSize bounds segments per PMD Rx/Tx burst.
+	BurstSize int
+	// PollCost is the fixed CPU price of one poll-loop iteration (the
+	// ring tail checks), charged whether or not the rings had work. It
+	// must be positive: a free iteration would spin the poll core at a
+	// single instant of simulated time.
+	PollCost time.Duration
+	// HybridIdlePolls is how many consecutive empty poll iterations the
+	// hybrid datapath spins through before re-arming the interrupt.
+	HybridIdlePolls int
 }
 
 // DefaultParams returns calibrated defaults.
@@ -61,6 +74,9 @@ func DefaultParams() Params {
 		RuleExpiry:       30 * time.Second,
 		ExpiryScanPeriod: time.Second,
 		LinkEventDelay:   time.Millisecond,
+		BurstSize:        32,
+		PollCost:         200 * time.Nanosecond,
+		HybridIdlePolls:  16,
 	}
 }
 
@@ -76,6 +92,9 @@ type queuePair struct {
 	// queue setup so interrupt delivery allocates nothing.
 	rxLine *kernel.IRQLine
 	txLine *kernel.IRQLine
+
+	// hybrid is the pair's adaptive-polling loop (DatapathHybrid only).
+	hybrid *hybridState
 }
 
 // base carries the machinery shared by both drivers.
@@ -97,6 +116,10 @@ type base struct {
 	// (re-posted on a surviving queue, or parked awaiting one) and the
 	// packet must not be recycled or reported sent.
 	repost func(qp *queuePair, pkt *nic.TxPacket) bool
+
+	// pmd carries the poll-mode counters and pollers; nil on the
+	// interrupt datapath (see pmd.go).
+	pmd *pmdStats
 }
 
 // xmitScratch is one thread's cached transmit-cost state: the cost
@@ -194,11 +217,17 @@ func (b *base) buildQueues(mem *memsys.System, pfFor func(c topology.CoreID) *ni
 
 		b.pairs = append(b.pairs, qp)
 	}
+	b.initDatapath()
 }
 
 // napiRx is the NAPI poll: reap completions, charge driver+protocol
-// per-packet costs, refill the ring, hand segments to the stack.
+// per-packet costs, refill the ring, hand segments to the stack. Under
+// the hybrid datapath the IRQ instead enters the pair's adaptive poll
+// loop.
 func (b *base) napiRx(qp *queuePair) time.Duration {
+	if qp.hybrid != nil {
+		return b.hybridEnter(qp)
+	}
 	var cost time.Duration
 	batch := qp.rx.Poll(b.params.NAPIBudget)
 	pkts := 0
@@ -222,6 +251,9 @@ func (b *base) napiRx(qp *queuePair) time.Duration {
 // skb frees, then OnSent callbacks. Reap is the Tx recycle point: the
 // driver owns the packet here and returns it to the NIC's pool.
 func (b *base) napiTx(qp *queuePair) time.Duration {
+	if qp.hybrid != nil {
+		return b.hybridEnter(qp)
+	}
 	var cost time.Duration
 	for _, pkt := range qp.tx.Reap(b.params.NAPIBudget) {
 		cost += qp.tx.CompletionRing().HostRead(qp.node, pkt.Packets)

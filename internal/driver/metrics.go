@@ -22,6 +22,20 @@ func (b *base) RegisterMetrics(r metrics.Registrar) {
 		}
 		return float64(s)
 	})
+	if b.pmd != nil {
+		// Poll-mode counters (busypoll and hybrid datapaths only, so the
+		// interrupt path's registry snapshot is unchanged).
+		pm := r.Scope("pmd")
+		pm.Counter("polls", func() float64 { return float64(b.pmd.polls) })
+		pm.Counter("empty_polls", func() float64 { return float64(b.pmd.emptyPolls) })
+		pm.Counter("bursts", func() float64 { return float64(b.pmd.bursts) })
+		pm.Gauge("burst_occupancy", func() float64 {
+			if b.pmd.bursts == 0 {
+				return 0
+			}
+			return float64(b.pmd.burstPkts) / float64(b.pmd.bursts)
+		})
+	}
 }
 
 // RegisterMetrics adds the octoNIC steering machinery on top of the

@@ -43,10 +43,14 @@ func clusterFor(c config, opts core.Config) *core.Cluster {
 }
 
 // newCluster builds a cluster with the harness-wide engine shard count
-// applied; every experiment cluster goes through here so -shards
-// affects all of them uniformly.
+// and datapath applied; every experiment cluster goes through here so
+// -shards and -datapath affect all of them uniformly. An explicit
+// per-point Datapath (the PMD sweep figure) wins over the global.
 func newCluster(opts core.Config) *core.Cluster {
 	opts.Shards = Shards()
+	if opts.Datapath == core.DatapathInterrupt {
+		opts.Datapath = GetDatapath()
+	}
 	return core.NewCluster(opts)
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"fmt"
+	"sort"
 	"time"
 
 	"ioctopus/internal/eth"
@@ -212,7 +213,23 @@ func (p *Plan) ValidateSchedule() error {
 			wins[k] = append(wins[k], win{idx: i, from: ev.At, to: ev.At + ev.Duration})
 		}
 	}
-	for k, ws := range wins {
+	keys := make([]winKey, 0, len(wins))
+	for k := range wins {
+		keys = append(keys, k)
+	}
+	// Sorted keys keep the reported pair stable when several groups
+	// overlap: the error is part of rendered output.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		ws := wins[k]
 		for i := 0; i < len(ws); i++ {
 			for j := i + 1; j < len(ws); j++ {
 				// Half-open windows [from,to): back-to-back is fine,

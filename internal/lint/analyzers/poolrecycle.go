@@ -79,6 +79,10 @@ type poolPass struct {
 	state    map[types.Object]pstate
 	acquired map[types.Object]token.Pos
 	deferred map[types.Object]bool
+	// contExits collects the states at continue statements of the loop
+	// body currently being walked (nil outside a loop); walkLoopBody
+	// folds them into the body's exit state.
+	contExits *[]map[types.Object]pstate
 }
 
 func (pr *poolPass) reportf(pos token.Pos, format string, args ...any) {
@@ -114,6 +118,7 @@ func (pr *poolPass) checkFunc(body *ast.BlockStmt) {
 	pr.state = map[types.Object]pstate{}
 	pr.acquired = map[types.Object]token.Pos{}
 	pr.deferred = map[types.Object]bool{}
+	pr.contExits = nil
 	st := pr.walkStmts(body.List, pr.state)
 	if st != nil {
 		pr.leakCheck(st, body.End())
@@ -359,11 +364,11 @@ func (pr *poolPass) walkStmt(s ast.Stmt, st map[types.Object]pstate) map[types.O
 		pr.scanExpr(st, s.Cond)
 		// Two passes so second-iteration facts (use after a recycle at
 		// the end of the body) are seen; reports dedup.
-		once := pr.walkStmts(s.Body.List, clone(st))
+		once := pr.walkLoopBody(s.Body.List, clone(st))
 		if s.Post != nil && once != nil {
 			once = pr.walkStmt(s.Post, once)
 		}
-		again := pr.walkStmts(s.Body.List, merge(clone(st), once))
+		again := pr.walkLoopBody(s.Body.List, merge(clone(st), once))
 		return merge(st, again)
 	case *ast.RangeStmt:
 		return pr.walkRange(s, st)
@@ -394,7 +399,16 @@ func (pr *poolPass) walkStmt(s ast.Stmt, st map[types.Object]pstate) map[types.O
 			}
 		}
 		return st
-	case *ast.BranchStmt, *ast.EmptyStmt:
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE && pr.contExits != nil {
+			// continue ends the iteration: its state joins the loop
+			// body's exit merge instead of flowing into the statements
+			// textually below it.
+			*pr.contExits = append(*pr.contExits, clone(st))
+			return nil
+		}
+		return st
+	case *ast.EmptyStmt:
 		return st
 	}
 	// Unknown statement kinds: scan conservatively.
@@ -471,19 +485,40 @@ func (pr *poolPass) walkRange(s *ast.RangeStmt, st map[types.Object]pstate) map[
 		entry[perIter] = psLive
 		pr.acquired[perIter] = s.Pos()
 	}
-	exit := pr.walkStmts(s.Body.List, entry)
+	exit := pr.walkLoopBody(s.Body.List, entry)
 	if exit != nil && perIter != nil {
-		if exit[perIter] == psLive {
+		// A per-iteration lease lives only inside the body, so any
+		// exit path — fall-through or continue — still holding it
+		// live is a leak on the iterations that take it.
+		if exit[perIter]&psLive != 0 {
 			pr.reportf(s.Pos(), "per-iteration lease %q is not recycled or transferred by the loop body (pool live count leaks)", perIter.Name())
 		}
 		delete(exit, perIter)
 	}
 	// Second pass for wraparound facts on outer leases.
-	exit2 := pr.walkStmts(s.Body.List, merge(clone(st), exit))
+	exit2 := pr.walkLoopBody(s.Body.List, merge(clone(st), exit))
 	if perIter != nil && exit2 != nil {
 		delete(exit2, perIter)
 	}
 	return merge(st, exit2)
+}
+
+// walkLoopBody walks a loop body and folds the states collected at its
+// continue statements into the fall-through exit state: a continue ends
+// the iteration exactly like falling off the end of the body does.
+// Breaks keep their conservative fall-through treatment (a break inside
+// a switch clause targets the switch, not the loop, and telling the two
+// apart is not worth the precision here).
+func (pr *poolPass) walkLoopBody(stmts []ast.Stmt, st map[types.Object]pstate) map[types.Object]pstate {
+	var conts []map[types.Object]pstate
+	saved := pr.contExits
+	pr.contExits = &conts
+	exit := pr.walkStmts(stmts, st)
+	pr.contExits = saved
+	for _, c := range conts {
+		exit = merge(exit, c)
+	}
+	return exit
 }
 
 func (pr *poolPass) walkSwitch(s ast.Stmt, st map[types.Object]pstate) map[types.Object]pstate {

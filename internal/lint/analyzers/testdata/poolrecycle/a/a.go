@@ -82,6 +82,44 @@ func reapTransferred(q *nic.TxQueue) {
 	}
 }
 
+// The PMD burst shapes: a batch view into the queue's reused backing
+// array is drained in one loop, and every element's lease must end
+// inside it — recycled, or transferred to the burst-delivery path.
+
+func burstRecycledInLoop(q *nic.RxQueue) {
+	var pkts int
+	for _, p := range q.Poll(32) {
+		pkts += p.Packets
+		p.Recycle()
+	}
+	_ = pkts
+}
+
+func burstBatchTransferred(q *nic.RxQueue, deliver func([]*nic.RxPacket)) {
+	// Assigned-batch form: ownership of every element moves with the
+	// slice into the delivery function.
+	batch := q.Poll(32)
+	deliver(batch)
+}
+
+func burstConditionalRepost(q *nic.TxQueue, repost func(*nic.TxPacket) bool) {
+	for _, p := range q.Reap(32) {
+		if p.Dropped && repost(p) {
+			continue // reposted: ownership moved with the call
+		}
+		p.Recycle()
+	}
+}
+
+func burstLeakOnContinue(q *nic.TxQueue) {
+	for _, p := range q.Reap(32) { // want `per-iteration lease "p" is not recycled or transferred`
+		if p.Dropped {
+			continue // dropped packets leak out of the loop un-recycled
+		}
+		p.Recycle()
+	}
+}
+
 func frameDoubleRelease(fp *eth.FramePool) {
 	f := fp.Get()
 	f.Release()

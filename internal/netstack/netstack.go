@@ -368,6 +368,34 @@ func (st *Stack) RxStackCost(rxp *nic.RxPacket) time.Duration {
 	return time.Duration(rxp.Packets) * (per + st.params.NAPIPerPacket)
 }
 
+// RxBurstCost prices the protocol receive work for a segment delivered
+// by a poll-mode driver: the per-protocol cost only. The NAPI
+// per-packet overhead and the IRQ entry the interrupt path pays never
+// happen — the PMD loop hands the segment straight to the socket, which
+// is the kernel-bypass saving the busy-poll datapath measures.
+func (st *Stack) RxBurstCost(rxp *nic.RxPacket) time.Duration {
+	per := st.params.TCPRxPerPacket
+	if rxp.Flow.Proto == eth.ProtoUDP {
+		per = st.params.UDPPerPacket
+	}
+	return time.Duration(rxp.Packets) * per
+}
+
+// DeliverRxBurst pushes one polled batch into the owning sockets,
+// skipping the IRQ→softirq→NAPI chain, and returns the protocol cost of
+// the batch so the poll core can charge it to its iteration. Socket
+// semantics (acknowledgments, window updates, overflow drops, recycle
+// duties) are identical to DeliverRx — only the path and its price
+// differ.
+func (st *Stack) DeliverRxBurst(batch []*nic.RxPacket) time.Duration {
+	var cost time.Duration
+	for _, rxp := range batch {
+		cost += st.RxBurstCost(rxp)
+		st.DeliverRx(rxp)
+	}
+	return cost
+}
+
 // Network is the static control plane joining stacks: IP routing and
 // ARP resolution for socket setup. Data traffic never flows through it.
 type Network struct {

@@ -441,3 +441,174 @@ func TestVFValidation(t *testing.T) {
 	}()
 	vf.AssignQueue(q1)
 }
+
+// TestPolledRxSuppressesInterruptsAndCoalesce: a queue in polled mode
+// delivers completions to the ring but never interrupts — the pending
+// coalesce timer is cancelled on entry and no new one is armed.
+func TestPolledRxSuppressesInterruptsAndCoalesce(t *testing.T) {
+	r := newRig(t) // default 8us coalescing
+	fw := NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	interrupted := 0
+	q := r.addRxQueue(0, 0, func() { interrupted++ })
+	fw.ProgramFlow(flow(1), 0, 0)
+
+	// Arm the coalesce timer with one arrival, then enter polled mode
+	// before it expires: the window must die with the mode switch.
+	r.nic.Receive(&eth.Frame{Dst: r.nic.MAC(), Flow: flow(1), Payload: 64, Packets: 1})
+	q.SetPolled(true)
+	if !q.Polled() {
+		t.Fatal("SetPolled(true) did not stick")
+	}
+	for i := 0; i < 5; i++ {
+		r.nic.Receive(&eth.Frame{Dst: r.nic.MAC(), Flow: flow(1), Payload: 1500, Packets: 1})
+	}
+	r.eng.RunUntilIdle()
+	if interrupted != 0 {
+		t.Fatalf("interrupts = %d in polled mode, want 0", interrupted)
+	}
+	if q.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6 (ring still fills under polling)", q.Pending())
+	}
+	if got := len(q.Poll(64)); got != 6 {
+		t.Fatalf("Poll drained %d, want 6", got)
+	}
+}
+
+// TestPolledRxExitFiresExactlyOnce: completions that landed during a
+// polled window fire the interrupt exactly once when interrupts are
+// re-enabled, and the NAPI re-arm cycle is undisturbed afterwards.
+func TestPolledRxExitFiresExactlyOnce(t *testing.T) {
+	r := newRig(t)
+	fw := NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	interrupted := 0
+	q := r.addRxQueue(0, 0, func() { interrupted++ })
+	fw.ProgramFlow(flow(1), 0, 0)
+
+	q.SetPolled(true)
+	for i := 0; i < 4; i++ {
+		r.nic.Receive(&eth.Frame{Dst: r.nic.MAC(), Flow: flow(1), Payload: 1500, Packets: 1})
+	}
+	r.eng.RunUntilIdle()
+	if interrupted != 0 {
+		t.Fatalf("interrupts = %d before exit, want 0", interrupted)
+	}
+	q.SetPolled(false)
+	r.eng.RunUntilIdle()
+	if interrupted != 1 {
+		t.Fatalf("interrupts = %d after leaving polled mode, want exactly 1", interrupted)
+	}
+	// The normal NAPI cycle resumes: drain, complete, next arrival
+	// refires.
+	q.Poll(64)
+	q.NapiComplete()
+	r.eng.RunUntilIdle()
+	if interrupted != 1 {
+		t.Fatalf("spurious interrupt after NapiComplete: %d", interrupted)
+	}
+	r.nic.Receive(&eth.Frame{Dst: r.nic.MAC(), Flow: flow(1), Payload: 1500, Packets: 1})
+	r.eng.RunUntilIdle()
+	if interrupted != 2 {
+		t.Fatalf("interrupts = %d after fresh arrival, want 2 (re-arm undisturbed)", interrupted)
+	}
+}
+
+// TestPolledRxExitWithEmptyRingStaysQuiet: leaving polled mode with
+// nothing pending must not invent an interrupt.
+func TestPolledRxExitWithEmptyRingStaysQuiet(t *testing.T) {
+	r := newRig(t)
+	fw := NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	interrupted := 0
+	q := r.addRxQueue(0, 0, func() { interrupted++ })
+	fw.ProgramFlow(flow(1), 0, 0)
+
+	q.SetPolled(true)
+	r.nic.Receive(&eth.Frame{Dst: r.nic.MAC(), Flow: flow(1), Payload: 1500, Packets: 1})
+	r.eng.RunUntilIdle()
+	q.Poll(64) // drained inside the polled window
+	q.SetPolled(false)
+	r.eng.RunUntilIdle()
+	if interrupted != 0 {
+		t.Fatalf("interrupts = %d after clean polled exit, want 0", interrupted)
+	}
+}
+
+// TestPolledTxSuppressesAndRefiresOnce: the Tx mirror — completions
+// during a polled window are reapable without interrupts, and
+// re-enabling fires once for what is still unreaped.
+func TestPolledTxSuppressesAndRefiresOnce(t *testing.T) {
+	r := newRig(t)
+	fw := NewOctoFirmware(r.nic, false)
+	r.nic.LoadFirmware(fw)
+	interrupted := 0
+	q := r.addTxQueue(0, 0, func() { interrupted++ })
+	buf := r.mem.NewBuffer("payload", 0, 64*1024)
+	r.mem.CPUWrite(0, buf, 64*1024)
+
+	q.SetPolled(true)
+	for i := 0; i < 2; i++ {
+		q.Post(&TxPacket{
+			Frags: []TxFrag{{Buf: buf, Bytes: 1500}}, Payload: 1500, Packets: 1,
+			Flow: flow(1), Dst: r.far.mac,
+		})
+	}
+	r.eng.RunUntilIdle()
+	if interrupted != 0 {
+		t.Fatalf("tx interrupts = %d in polled mode, want 0", interrupted)
+	}
+	q.SetPolled(false)
+	r.eng.RunUntilIdle()
+	if interrupted != 1 {
+		t.Fatalf("tx interrupts = %d after leaving polled mode, want exactly 1", interrupted)
+	}
+	if got := len(q.Reap(64)); got != 2 {
+		t.Fatalf("reaped %d completions, want 2", got)
+	}
+}
+
+// TestPolledModeLeavesZeroCoalesceUntouched: after a polled window on a
+// CoalesceDelay=0 NIC, the immediate-interrupt behavior is exactly as
+// before the window — the polled flag must not linger in the timing
+// decision.
+func TestPolledModeLeavesZeroCoalesceUntouched(t *testing.T) {
+	e := sim.NewEngine()
+	srv := topology.DualBroadwell()
+	ic := interconnect.New(e, srv)
+	mem := memsys.New(e, srv, ic, memsys.DefaultParams())
+	pcf := pcie.New(e, mem, pcie.DefaultParams())
+	eps := pcf.AttachCard(pcie.CardConfig{Name: "cx5", Gen: pcie.Gen3, TotalLanes: 16, Wiring: pcie.WiringBifurcated, Nodes: []topology.NodeID{0, 1}})
+	params := DefaultParams()
+	params.CoalesceDelay = 0
+	n := New(e, mem, "cx5", eps, params)
+	fw := NewOctoFirmware(n, false)
+	n.LoadFirmware(fw)
+	far := &farEnd{mac: eth.MACFromInt(0xC11E)}
+	n.AttachWire(eth.NewWire(e, eth.Wire100G("w"), n, far))
+	var irqAt sim.Time
+	ring := device.NewRing(mem, "rxc", 0, 1024, 64)
+	bufs := []*memsys.Buffer{mem.NewBuffer("b", 0, 64*1024)}
+	q := n.PF(0).AddRxQueue(ring, bufs, 0, func() { irqAt = e.Now() })
+	fw.ProgramFlow(flow(1), 0, 0)
+
+	q.SetPolled(true)
+	n.Receive(&eth.Frame{Dst: n.MAC(), Flow: flow(1), Payload: 64, Packets: 1})
+	e.RunUntilIdle()
+	if irqAt != 0 {
+		t.Fatal("polled window interrupted on a zero-coalesce NIC")
+	}
+	q.Poll(64)
+	q.SetPolled(false)
+	e.RunUntilIdle()
+
+	before := e.Now()
+	n.Receive(&eth.Frame{Dst: n.MAC(), Flow: flow(1), Payload: 64, Packets: 1})
+	e.RunUntilIdle()
+	if irqAt <= before {
+		t.Fatal("no interrupt after the polled window ended")
+	}
+	if irqAt-before > sim.Time(5*time.Microsecond) {
+		t.Fatalf("post-window interrupt took %v, want immediate (CoalesceDelay=0)", irqAt-before)
+	}
+}

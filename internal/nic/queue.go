@@ -76,6 +76,7 @@ type RxQueue struct {
 	pendHead int
 
 	napiActive bool
+	polled     bool
 	coalesce   sim.Timer
 	fireFn     func() // cached q.fireInterrupt
 
@@ -155,10 +156,31 @@ func (q *RxQueue) receive(f *eth.Frame) {
 	q.pf.ep.DMAWrite(buf, f.Payload, rxp.payloadDone)
 }
 
-// maybeInterrupt fires the queue's interrupt respecting NAPI gating and
-// the coalescing holdoff.
+// SetPolled switches the queue between interrupt and poll-mode
+// operation. While polled, completions never raise interrupts and no
+// coalesce timer is armed — a busy-poll driver consumes the ring with
+// Poll directly. Leaving polled mode re-runs the interrupt decision, so
+// completions that landed during the polled window fire exactly once
+// (the NAPI re-arm rule, same as NapiComplete).
+func (q *RxQueue) SetPolled(on bool) {
+	if q.polled == on {
+		return
+	}
+	q.polled = on
+	if on {
+		q.coalesce.Stop()
+		return
+	}
+	q.maybeInterrupt()
+}
+
+// Polled reports whether the queue is in poll-mode operation.
+func (q *RxQueue) Polled() bool { return q.polled }
+
+// maybeInterrupt fires the queue's interrupt respecting poll mode, NAPI
+// gating and the coalescing holdoff.
 func (q *RxQueue) maybeInterrupt() {
-	if q.napiActive || q.onIRQ == nil || q.Pending() == 0 {
+	if q.polled || q.napiActive || q.onIRQ == nil || q.Pending() == 0 {
 		return
 	}
 	delay := q.pf.nic.params.CoalesceDelay
@@ -173,7 +195,7 @@ func (q *RxQueue) maybeInterrupt() {
 }
 
 func (q *RxQueue) fireInterrupt() {
-	if q.napiActive || q.Pending() == 0 {
+	if q.polled || q.napiActive || q.Pending() == 0 {
 		return
 	}
 	q.napiActive = true
@@ -323,6 +345,7 @@ type TxQueue struct {
 	compHead  int
 
 	napiActive bool
+	polled     bool
 	coalesce   sim.Timer
 	fireFn     func() // cached q.fireInterrupt
 
@@ -446,9 +469,25 @@ func (q *TxQueue) transmit(pkt *TxPacket) {
 // completedPending returns completions awaiting the driver's reap.
 func (q *TxQueue) completedPending() int { return len(q.completed) - q.compHead }
 
-// maybeInterrupt mirrors the Rx side's NAPI gating.
+// SetPolled mirrors RxQueue.SetPolled for the transmit side.
+func (q *TxQueue) SetPolled(on bool) {
+	if q.polled == on {
+		return
+	}
+	q.polled = on
+	if on {
+		q.coalesce.Stop()
+		return
+	}
+	q.maybeInterrupt()
+}
+
+// Polled reports whether the queue is in poll-mode operation.
+func (q *TxQueue) Polled() bool { return q.polled }
+
+// maybeInterrupt mirrors the Rx side's poll-mode and NAPI gating.
 func (q *TxQueue) maybeInterrupt() {
-	if q.napiActive || q.onIRQ == nil || q.completedPending() == 0 {
+	if q.polled || q.napiActive || q.onIRQ == nil || q.completedPending() == 0 {
 		return
 	}
 	delay := q.pf.nic.params.CoalesceDelay
@@ -463,7 +502,7 @@ func (q *TxQueue) maybeInterrupt() {
 }
 
 func (q *TxQueue) fireInterrupt() {
-	if q.napiActive || q.completedPending() == 0 {
+	if q.polled || q.napiActive || q.completedPending() == 0 {
 		return
 	}
 	q.napiActive = true

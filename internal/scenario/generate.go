@@ -45,14 +45,26 @@ func Generate(seed int64) *Spec {
 		mode = "ioctopus"
 	}
 	wiring := []string{"bifurcated", "extender", "riser", "switch"}[rng.Intn(4)]
+	// Datapath axis: half the seeds stay on the interrupt path, the rest
+	// split between busypoll and hybrid. Generated servers always have
+	// >= 2 cores per socket, so busypoll's spare-core requirement holds
+	// by construction.
+	datapath := ""
+	switch rng.Intn(4) {
+	case 0:
+		datapath = "busypoll"
+	case 1:
+		datapath = "hybrid"
+	}
 
 	sim2 := &SimSpec{
 		Topology: TopoSpec{
 			Server: MachineSpec{Sockets: serverSockets, CoresPerSocket: serverCores},
 			Client: MachineSpec{Sockets: clientSockets, CoresPerSocket: clientCores},
 		},
-		Mode:   mode,
-		Wiring: wiring,
+		Mode:     mode,
+		Wiring:   wiring,
+		Datapath: datapath,
 		// Retransmission is always on: most of the invariants worth
 		// fuzzing (conservation, no-abandoned) only exist above it.
 		Retx: &RetxSpec{Timeout: 2 * time.Millisecond, MaxTries: 12},

@@ -120,6 +120,7 @@ func runSim(sp *Spec, d experiments.Durations) (*experiments.Result, error) {
 
 	mode, _ := parseMode(sim2.Mode)
 	wiring, _ := parseWiring(sim2.Wiring)
+	datapath, _ := core.ParseDatapath(sim2.Datapath)
 	serverTopo, err := sim2.Topology.Server.build()
 	if err != nil {
 		return nil, err
@@ -139,6 +140,7 @@ func runSim(sp *Spec, d experiments.Durations) (*experiments.Result, error) {
 		Mode:        mode,
 		EnableSG:    sim2.EnableSG,
 		Wiring:      wiring,
+		Datapath:    datapath,
 		ServerTopo:  serverTopo,
 		ClientTopo:  clientTopo,
 		StackParams: &stackParams,

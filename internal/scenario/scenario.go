@@ -217,6 +217,11 @@ type SimSpec struct {
 	Mode     string   `json:"mode"`             // "standard" | "ioctopus"
 	Wiring   string   `json:"wiring,omitempty"` // "" = bifurcated
 	EnableSG bool     `json:"enable_sg,omitempty"`
+	// Datapath selects the server's completion delivery: "" or
+	// "interrupt" (the NAPI default), "busypoll" (dedicated poll-mode
+	// cores, which needs a spare core per server node), or "hybrid"
+	// (adaptive polling).
+	Datapath string `json:"datapath,omitempty"`
 
 	Retx *RetxSpec `json:"retx,omitempty"`
 
@@ -390,6 +395,21 @@ func (sp *Spec) validateSim() error {
 		return fail("%v", err)
 	}
 	serverPFs := server.NumNodes() // one PF per socket of the bifurcated card
+
+	dp, err := core.ParseDatapath(sim.Datapath)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if dp == core.DatapathBusyPoll {
+		// The poll loop owns the last core of every server node; a
+		// one-core node would leave nothing for workload threads.
+		for n := 0; n < server.NumNodes(); n++ {
+			if len(server.CoresOn(topology.NodeID(n))) < 2 {
+				return fail("datapath busypoll needs >= 2 cores per server node (node %d has %d)",
+					n, len(server.CoresOn(topology.NodeID(n))))
+			}
+		}
+	}
 
 	if sim.Retx != nil && (sim.Retx.Timeout <= 0 || sim.Retx.MaxTries < 1) {
 		return fail("retx needs a positive timeout and at least one try")

@@ -174,6 +174,11 @@ func TestValidateRejects(t *testing.T) {
 		{"window order", func(sp *scenario.Spec) { sp.Sim.Windows[1].FromPct = 5 }, "overlaps or precedes"},
 		{"check without window", func(sp *scenario.Spec) { sp.Sim.Checks[7].Window = 9 }, "no window 9"},
 		{"duplicate port", func(sp *scenario.Spec) { sp.Sim.Workloads[1].Port = sp.Sim.Workloads[0].Port }, "share port"},
+		{"bad datapath", func(sp *scenario.Spec) { sp.Sim.Datapath = "zero-copy" }, "unknown datapath"},
+		{"busypoll needs spare cores", func(sp *scenario.Spec) {
+			sp.Sim.Datapath = "busypoll"
+			sp.Sim.Topology.Server = scenario.MachineSpec{Sockets: 2, CoresPerSocket: 1}
+		}, ">= 2 cores per server node"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -187,6 +192,46 @@ func TestValidateRejects(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestDatapathRoundTrips: every datapath spelling survives marshal →
+// parse (including the omitted default), and validation accepts all of
+// them on a topology with spare cores.
+func TestDatapathRoundTrips(t *testing.T) {
+	for _, dp := range []string{"", "interrupt", "busypoll", "hybrid"} {
+		sp := scenario.Chaos()
+		sp.Sim.Datapath = dp
+		data, err := sp.Marshal()
+		if err != nil {
+			t.Fatalf("datapath %q: marshal: %v", dp, err)
+		}
+		back, err := scenario.Parse(data)
+		if err != nil {
+			t.Fatalf("datapath %q: parse: %v", dp, err)
+		}
+		if back.Sim.Datapath != dp {
+			t.Errorf("datapath %q round-tripped to %q", dp, back.Sim.Datapath)
+		}
+	}
+}
+
+// TestGenerateDrawsDatapaths: the fuzz generator exercises all three
+// datapaths across a modest seed sweep, so `-fuzz` coverage includes
+// the poll-mode delivery paths.
+func TestGenerateDrawsDatapaths(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		dp := scenario.Generate(seed).Sim.Datapath
+		if dp == "" {
+			dp = "interrupt"
+		}
+		seen[dp] = true
+	}
+	for _, dp := range []string{"interrupt", "busypoll", "hybrid"} {
+		if !seen[dp] {
+			t.Errorf("50 seeds never drew datapath %q", dp)
+		}
 	}
 }
 

@@ -297,3 +297,28 @@ func SetShards(n int) { experiments.SetShards(n) }
 
 // Shards returns the per-cluster engine shard count.
 func Shards() int { return experiments.Shards() }
+
+// Datapath selects how completions reach the server's driver:
+// interrupt (the default NAPI path), busypoll (dedicated poll-mode
+// cores, no interrupts), or hybrid (adaptive polling with interrupt
+// re-arm). See Config.Datapath and `ioctobench -datapath`.
+type Datapath = core.Datapath
+
+// Datapaths.
+const (
+	DatapathInterrupt = core.DatapathInterrupt
+	DatapathBusyPoll  = core.DatapathBusyPoll
+	DatapathHybrid    = core.DatapathHybrid
+)
+
+// ParseDatapath maps the CLI/scenario spelling ("", "interrupt",
+// "busypoll", "hybrid") to a Datapath.
+func ParseDatapath(s string) (Datapath, error) { return core.ParseDatapath(s) }
+
+// SetDatapath sets the datapath every harness-built cluster runs with
+// (the `ioctobench -datapath` axis). The default, DatapathInterrupt,
+// is byte-identical to the pre-PMD harness.
+func SetDatapath(d Datapath) { experiments.SetDatapath(d) }
+
+// GetDatapath returns the harness datapath.
+func GetDatapath() Datapath { return experiments.GetDatapath() }

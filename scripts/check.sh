@@ -50,6 +50,15 @@ go run ./cmd/ioctobench -fig chaos -quick -shards 2 -json "$tmp/chaos_sharded.js
 cmp "$tmp/chaos1.txt" "$tmp/chaos_sharded.txt"
 cmp "$tmp/chaos1.json" "$tmp/chaos_sharded.json"
 
+# PMD determinism gate: the hidden kernel-bypass sweep (not part of
+# `-fig all`, which stays byte-identical to the NAPI-only harness) must
+# be as deterministic as everything else — busy-poll spin loops and
+# hybrid mode-switches included — serial vs sharded.
+go run ./cmd/ioctobench -fig pmd -quick -json "$tmp/pmd_serial.json" > "$tmp/pmd_serial.txt"
+go run ./cmd/ioctobench -fig pmd -quick -shards 2 -json "$tmp/pmd_sharded.json" > "$tmp/pmd_sharded.txt"
+cmp "$tmp/pmd_serial.txt" "$tmp/pmd_sharded.txt"
+cmp "$tmp/pmd_serial.json" "$tmp/pmd_sharded.json"
+
 # Scenario parity gate: the declarative specs must reproduce the
 # hand-wired runners byte for byte — -scenario fig2/chaos is the same
 # experiment expressed as data.
@@ -72,22 +81,26 @@ cmp "$tmp/fuzz1.txt" "$tmp/fuzz_sharded.txt"
 # thresholds recorded in BENCH_sim.json (the "gate" section).
 evr_max="$(sed -n 's/.*"BenchmarkSimulatorEventRate_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
 pp_max="$(sed -n 's/.*"BenchmarkPacketPath_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
-if test -z "$evr_max" || test -z "$pp_max"; then
+bp_max="$(sed -n 's/.*"BenchmarkBusyPollPath_max_allocs_per_op": *\([0-9]*\).*/\1/p' BENCH_sim.json)"
+if test -z "$evr_max" || test -z "$pp_max" || test -z "$bp_max"; then
     echo "check.sh: BENCH_sim.json is missing its gate keys" \
         "(BenchmarkSimulatorEventRate_max_allocs_per_op," \
-        "BenchmarkPacketPath_max_allocs_per_op); regenerate with" \
+        "BenchmarkPacketPath_max_allocs_per_op," \
+        "BenchmarkBusyPollPath_max_allocs_per_op); regenerate with" \
         "'make bench' and restore the gate section" >&2
     exit 1
 fi
 # (The serial benchmark only: the Sharded variant's allocs scale with
 # cross-shard traffic — its determinism is gated above, not its allocs.)
-go test -run '^$' -bench 'BenchmarkPacketPath$|BenchmarkSimulatorEventRate$' -benchtime 10x -benchmem . | tee "$tmp/bench.txt"
-awk -v evr_max="$evr_max" -v pp_max="$pp_max" '
+go test -run '^$' -bench 'BenchmarkPacketPath$|BenchmarkBusyPollPath$|BenchmarkSimulatorEventRate$' -benchtime 10x -benchmem . | tee "$tmp/bench.txt"
+awk -v evr_max="$evr_max" -v pp_max="$pp_max" -v bp_max="$bp_max" '
   /^BenchmarkSimulatorEventRate(-|[ \t])/ { seen_evr = 1; a = $(NF-1) + 0
     if (a > evr_max) { printf "bench gate: SimulatorEventRate %d allocs/op > %d\n", a, evr_max; bad = 1 } }
   /^BenchmarkPacketPath/ { seen_pp = 1; a = $(NF-1) + 0
     if (a > pp_max) { printf "bench gate: PacketPath %d allocs/op > %d\n", a, pp_max; bad = 1 } }
+  /^BenchmarkBusyPollPath/ { seen_bp = 1; a = $(NF-1) + 0
+    if (a > bp_max) { printf "bench gate: BusyPollPath %d allocs/op > %d\n", a, bp_max; bad = 1 } }
   END {
-    if (!seen_evr || !seen_pp) { print "bench gate: benchmark output missing"; bad = 1 }
+    if (!seen_evr || !seen_pp || !seen_bp) { print "bench gate: benchmark output missing"; bad = 1 }
     exit bad
   }' "$tmp/bench.txt"
