@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the verification gate.
 
-.PHONY: check test bench build lint fuzz
+.PHONY: check test bench build lint fuzz devchaos
 
 build:
 	go build ./...
@@ -23,6 +23,11 @@ SEED ?= 1
 N ?= 25
 fuzz:
 	go run ./cmd/ioctobench -fuzz $(N) -seed $(SEED)
+
+# Device failure-domain sweep: firmware resets, queue stalls and poller
+# wedges across the three datapaths, with windowed recovery checks.
+devchaos:
+	go run ./cmd/ioctobench -fig devchaos -quick
 
 # Regenerate the performance numbers behind BENCH_sim.json.
 bench:

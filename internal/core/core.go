@@ -374,6 +374,9 @@ func NewClusterE(cfg Config) (*Cluster, error) {
 	// datapath axis is a server-side experiment).
 	clientParams := drvParams
 	clientParams.Datapath = driver.DatapathInterrupt
+	// The self-healing watchdog is a server-side experiment too: the
+	// client keeps the zero-cost disabled default.
+	clientParams.WatchdogInterval = 0
 	cl.Client.NIC.LoadFirmware(nic.NewStandardFirmware(cl.Client.NIC))
 	cDrv := driver.NewStandard(cl.Client.Kernel, cl.Client.Mem, cl.Client.NIC.PF(0), "eth0", clientParams)
 	cDrv.Bind(cl.Client.Stack)
@@ -408,6 +411,15 @@ func NewClusterE(cfg Config) (*Cluster, error) {
 	// nothing is installed and the datapath keeps its no-fault fast
 	// paths (nil filters, link-up flags).
 	if cfg.FaultPlan != nil {
+		// PollerStall needs the server drivers' busy-poll loops; the
+		// interface assertion keeps interrupt-mode runs (no pollers) and
+		// the client (always interrupt) out of the target list.
+		var pollers []*kernel.Poller
+		for _, dev := range []netstack.NetDevice{cl.Dev0, cl.Dev1} {
+			if pd, ok := dev.(interface{ Pollers() []*kernel.Poller }); ok {
+				pollers = append(pollers, pd.Pollers()...)
+			}
+		}
 		inj, err := faults.Arm(cfg.FaultPlan, faults.Targets{
 			Engine:       e,
 			ClientEngine: ce,
@@ -417,6 +429,7 @@ func NewClusterE(cfg Config) (*Cluster, error) {
 			ClientPort:   cl.Client.NIC,
 			Fabric:       cl.Server.Fabric,
 			Kernel:       cl.Server.Kernel,
+			Pollers:      pollers,
 		})
 		if err != nil {
 			return nil, err

@@ -266,3 +266,157 @@ func TestRxDropsRecycledUnderPooling(t *testing.T) {
 	}
 	cl.Drain()
 }
+
+// TestConcurrentPFFailureRiddenOut: the failover contract is
+// single-failure (DESIGN.md §10) — a second PF dying while the first
+// failover is in flight is counted and ridden out, not acted on, and
+// retransmission carries the stream across the double-fault window.
+func TestConcurrentPFFailureRiddenOut(t *testing.T) {
+	sp := retxParams()
+	cfg := Config{
+		Mode:        ModeIOctopus,
+		StackParams: sp,
+		FaultPlan: &faults.Plan{Events: []faults.Event{
+			{At: 10 * time.Millisecond, Kind: faults.LinkFlap, PF: 0, Duration: 10 * time.Millisecond},
+			{At: 12 * time.Millisecond, Kind: faults.LinkFlap, PF: 1, Duration: 5 * time.Millisecond},
+		}},
+	}
+	sent, received, cl := runFaultStream(t, cfg, 60*time.Millisecond)
+	if cl.Octo.ConcurrentIgnored() < 1 {
+		t.Fatalf("concurrent ignored = %d; the PF1 failure inside PF0's outage was not counted",
+			cl.Octo.ConcurrentIgnored())
+	}
+	if cl.Octo.Failovers() != 1 || cl.Octo.Failbacks() != 1 {
+		t.Fatalf("failovers=%d failbacks=%d; the second failure must not trigger its own failover",
+			cl.Octo.Failovers(), cl.Octo.Failbacks())
+	}
+	bound := sp.SendWindow + sp.RxBufBytes
+	if gap := sent - received; gap > bound {
+		t.Fatalf("lost data across the double fault: gap %d > bound %d", gap, bound)
+	}
+	if ab := cl.Client.Stack.RetxAbandoned() + cl.Server.Stack.RetxAbandoned(); ab != 0 {
+		t.Fatalf("abandoned %d segments", ab)
+	}
+	if v, ok := cl.Reg.Value("server/driver/octo0/failover/concurrent_ignored"); !ok || v != float64(cl.Octo.ConcurrentIgnored()) {
+		t.Fatalf("registry concurrent_ignored = %v (ok=%v), driver says %d", v, ok, cl.Octo.ConcurrentIgnored())
+	}
+}
+
+// TestParkedOverflowSpillsToPool: with the parked list capped tightly,
+// descriptors stranded past the cap are recycled (counted as overflow)
+// instead of growing the list without bound, and retransmission — not
+// the parked list — recovers their payload. Parking is a server-Tx
+// phenomenon (a segment transmitted into a dead link whose remap target
+// is dead too), so the workload is a server→client stream under the
+// double-fault schedule: PF0's flows fail over onto PF1, then PF1 dies
+// under them.
+func TestParkedOverflowSpillsToPool(t *testing.T) {
+	sp := retxParams()
+	dp := driver.DefaultParams()
+	dp.MaxParked = 1
+	cl := NewCluster(Config{
+		Mode:         ModeIOctopus,
+		StackParams:  sp,
+		DriverParams: &dp,
+		FaultPlan: &faults.Plan{Events: []faults.Event{
+			{At: 10 * time.Millisecond, Kind: faults.LinkFlap, PF: 0, Duration: 10 * time.Millisecond},
+			{At: 12 * time.Millisecond, Kind: faults.LinkFlap, PF: 1, Duration: 5 * time.Millisecond},
+		}},
+	})
+	var sent, received int64
+	cl.Client.Stack.Listen(9, func(s *netstack.Socket) {
+		cl.Client.Kernel.Spawn("sink", 0, func(th *kernel.Thread) {
+			s.SetOwner(th)
+			for {
+				n, _, ok := s.Recv(th)
+				if !ok {
+					return
+				}
+				received += n
+			}
+		})
+	})
+	cl.Server.Kernel.Spawn("netperf-tx", 0, func(th *kernel.Thread) {
+		sock, err := cl.Server.Stack.Dial(th, IPClient, 9, eth.ProtoTCP)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for {
+			sock.Send(th, 64*1024)
+			sent += 64 * 1024
+		}
+	})
+	cl.Run(50 * time.Millisecond)
+	cl.Drain()
+	if cl.Octo.ParkedOverflow() < 1 {
+		t.Fatalf("parked overflow = %d; the 1-entry cap never spilled", cl.Octo.ParkedOverflow())
+	}
+	if cl.Octo.Parked() != 0 {
+		t.Fatalf("parked = %d at end of run, want 0", cl.Octo.Parked())
+	}
+	bound := sp.SendWindow + sp.RxBufBytes
+	if gap := sent - received; gap > bound {
+		t.Fatalf("overflowed descriptors were not recovered: gap %d > bound %d", gap, bound)
+	}
+	if ab := cl.Client.Stack.RetxAbandoned() + cl.Server.Stack.RetxAbandoned(); ab != 0 {
+		t.Fatalf("abandoned %d segments", ab)
+	}
+	if v, ok := cl.Reg.Value("server/driver/octo0/failover/parked_overflow"); !ok || v != float64(cl.Octo.ParkedOverflow()) {
+		t.Fatalf("registry parked_overflow = %v (ok=%v), driver says %d", v, ok, cl.Octo.ParkedOverflow())
+	}
+}
+
+// TestOverlappingFaultWindowsDeterministicAcrossShards runs the gnarly
+// overlap — a short PF0 flap whose failback races flushParked, a PF1
+// failure inside PF0's outage, and a loss window over the whole thing —
+// and requires the serial and 2-shard runs to agree byte-for-byte on
+// delivered work and every recovery counter, per seed.
+func TestOverlappingFaultWindowsDeterministicAcrossShards(t *testing.T) {
+	type outcome struct {
+		sent, received    int64
+		failovers         uint64
+		failbacks         uint64
+		concurrentIgnored uint64
+		reposted          uint64
+		abandoned         uint64
+	}
+	run := func(shards int, seed int64) outcome {
+		sp := retxParams()
+		cfg := Config{
+			Mode:        ModeIOctopus,
+			StackParams: sp,
+			Shards:      shards,
+			FaultPlan: &faults.Plan{
+				Seed: seed,
+				Events: []faults.Event{
+					{At: 10 * time.Millisecond, Kind: faults.LinkFlap, PF: 0, Duration: 3 * time.Millisecond},
+					{At: 12 * time.Millisecond, Kind: faults.LinkFlap, PF: 1, Duration: 5 * time.Millisecond},
+					{At: 5 * time.Millisecond, Kind: faults.Loss, Dir: faults.ClientToServer, Prob: 0.02, Duration: 20 * time.Millisecond},
+				},
+			},
+		}
+		sent, received, cl := runFaultStream(t, cfg, 50*time.Millisecond)
+		return outcome{
+			sent: sent, received: received,
+			failovers:         cl.Octo.Failovers(),
+			failbacks:         cl.Octo.Failbacks(),
+			concurrentIgnored: cl.Octo.ConcurrentIgnored(),
+			reposted:          cl.Octo.Reposted(),
+			abandoned:         cl.Client.Stack.RetxAbandoned() + cl.Server.Stack.RetxAbandoned(),
+		}
+	}
+	for _, seed := range []int64{1, 99} {
+		serial := run(1, seed)
+		sharded := run(2, seed)
+		if serial != sharded {
+			t.Fatalf("seed %d: serial %+v != sharded %+v", seed, serial, sharded)
+		}
+		if serial.failovers != 1 || serial.failbacks != 1 {
+			t.Fatalf("seed %d: failovers=%d failbacks=%d, want 1/1", seed, serial.failovers, serial.failbacks)
+		}
+		if serial.abandoned != 0 {
+			t.Fatalf("seed %d: abandoned %d segments", seed, serial.abandoned)
+		}
+	}
+}

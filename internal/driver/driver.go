@@ -60,6 +60,24 @@ type Params struct {
 	// HybridIdlePolls is how many consecutive empty poll iterations the
 	// hybrid datapath spins through before re-arming the interrupt.
 	HybridIdlePolls int
+	// WatchdogInterval enables the driver self-healing watchdog (see
+	// watchdog.go): every interval it samples per-queue Tx progress and
+	// the PMD pollers, escalating stuck queues through the recovery
+	// ladder. Zero — the default — disables the watchdog entirely: no
+	// timer, no per-tick work, no metrics scopes.
+	WatchdogInterval time.Duration
+	// WatchdogTicks is how many consecutive no-progress samples mark a
+	// queue stuck; zero means the default (2).
+	WatchdogTicks int
+	// WatchdogBackoff is the holdoff after a recovery action before the
+	// watchdog may escalate again; it doubles per ladder stage. Zero
+	// means the default (2 × WatchdogInterval).
+	WatchdogBackoff time.Duration
+	// MaxParked caps the octo driver's parked-descriptor list (segments
+	// stranded by a total outage, awaiting any live queue). Overflow
+	// segments are released back to the pool — data loss recovered by
+	// retransmission — and counted. Zero means the default (1024).
+	MaxParked int
 }
 
 // DefaultParams returns calibrated defaults.
@@ -120,6 +138,10 @@ type base struct {
 	// pmd carries the poll-mode counters and pollers; nil on the
 	// interrupt datapath (see pmd.go).
 	pmd *pmdStats
+
+	// wd is the self-healing watchdog; nil unless Params.WatchdogInterval
+	// is set (see watchdog.go).
+	wd *watchdog
 }
 
 // xmitScratch is one thread's cached transmit-cost state: the cost
@@ -218,6 +240,22 @@ func (b *base) buildQueues(mem *memsys.System, pfFor func(c topology.CoreID) *ni
 		b.pairs = append(b.pairs, qp)
 	}
 	b.initDatapath()
+	b.initWatchdog()
+}
+
+// Pollers returns the driver's busy-poll loops (busypoll datapath
+// only; empty otherwise) — the fault injector's PollerStall targets.
+func (b *base) Pollers() []*kernel.Poller {
+	if b.pmd == nil {
+		return nil
+	}
+	var out []*kernel.Poller
+	for _, p := range b.pmd.pollers {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // napiRx is the NAPI poll: reap completions, charge driver+protocol

@@ -36,6 +36,30 @@ func (b *base) RegisterMetrics(r metrics.Registrar) {
 			return float64(b.pmd.burstPkts) / float64(b.pmd.bursts)
 		})
 	}
+	if b.wd != nil {
+		// Self-healing counters (watchdog-enabled runs only, same gating
+		// rule as pmd/: the default registry snapshot is unchanged).
+		wd := r.Scope("watchdog")
+		wd.Counter("ticks", func() float64 { return float64(b.wd.stats.Ticks) })
+		wd.Counter("queue_resets", func() float64 { return float64(b.wd.stats.QueueResets) })
+		wd.Counter("fw_reprograms", func() float64 { return float64(b.wd.stats.FwReprograms) })
+		wd.Counter("pf_dead", func() float64 { return float64(b.wd.stats.PFDead) })
+		wd.Counter("pf_recovered", func() float64 { return float64(b.wd.stats.PFRecovered) })
+		wd.Counter("poller_fallbacks", func() float64 { return float64(b.wd.stats.PollerFallbacks) })
+		wd.Counter("poller_reenters", func() float64 { return float64(b.wd.stats.PollerReenters) })
+	}
+}
+
+// RegisterMetrics adds the standard driver's firmware-recovery
+// counters on top of the shared ring gauges, gated like the watchdog
+// scope so the default registry snapshot is unchanged.
+func (d *Standard) RegisterMetrics(r metrics.Registrar) {
+	d.base.RegisterMetrics(r)
+	if d.base.wd != nil {
+		fr := r.Scope("fw/recovery")
+		fr.Counter("resets", func() float64 { return float64(d.fwResets) })
+		fr.Counter("rules_replayed", func() float64 { return float64(d.rulesReplayed) })
+	}
 }
 
 // RegisterMetrics adds the octoNIC steering machinery on top of the
@@ -53,10 +77,19 @@ func (d *Octo) RegisterMetrics(r metrics.Registrar) {
 	fo.Counter("failbacks", func() float64 { return float64(d.failbacks) })
 	fo.Counter("reposted", func() float64 { return float64(d.reposted) })
 	fo.Counter("rules_resteered", func() float64 { return float64(d.rulesResteered) })
+	fo.Counter("parked_overflow", func() float64 { return float64(d.parkedOverflow) })
+	fo.Counter("concurrent_ignored", func() float64 { return float64(d.concurrentIgnored) })
 	fo.Gauge("degraded", func() float64 {
 		if d.downPF >= 0 {
 			return 1
 		}
 		return 0
 	})
+	if d.base.wd != nil {
+		// Firmware-recovery counters ride the watchdog gate: both exist
+		// only on self-healing-enabled runs.
+		fr := r.Scope("fw/recovery")
+		fr.Counter("resets", func() float64 { return float64(d.fwResets) })
+		fr.Counter("rules_replayed", func() float64 { return float64(d.rulesReplayed) })
+	}
 }

@@ -61,6 +61,19 @@ type Octo struct {
 	failbacks      uint64
 	reposted       uint64
 	rulesResteered uint64
+
+	// parkedOverflow counts segments given up at the MaxParked cap
+	// during a total outage (released to the pool; retransmission
+	// recovers the data). concurrentIgnored counts link-down events
+	// ridden out because another PF's failure was already being handled
+	// — the single-failure contract, DESIGN.md §10.
+	parkedOverflow    uint64
+	concurrentIgnored uint64
+
+	// Firmware-reset recovery: resets observed and journaled rules
+	// replayed into the wiped device tables.
+	fwResets      uint64
+	rulesReplayed uint64
 }
 
 // parkedTx is a stranded Tx segment awaiting a live queue.
@@ -130,6 +143,23 @@ func NewOcto(k *kernel.Kernel, mem *memsys.System, n *nic.NIC, name string, para
 		}
 		d.onLinkChange(pf, up)
 	})
+	// A firmware reset reaches the driver the same way a carrier change
+	// does (async event + workqueue); until the handler replays the
+	// journal, unprogrammed flows ride the firmware's RSS fallback.
+	n.OnFirmwareReset(func() {
+		if delay := d.base.params.LinkEventDelay; delay > 0 {
+			d.k.Engine().After(delay, d.onFwReset)
+			return
+		}
+		d.onFwReset()
+	})
+	// Watchdog ladder hooks (no-ops while the watchdog is disabled):
+	// stage 1 replays the rule journal, stage 2 feeds the PR 5 failover
+	// path as if the PF's carrier had dropped.
+	if d.base.wd != nil {
+		d.base.wd.fwReplay = d.replayRules
+		d.base.wd.setPFUp = d.onLinkChange
+	}
 	d.updates = sim.NewQueue[steerUpdate](k.Engine(), 0)
 	d.startWorker()
 	d.startExpiryScanner()
@@ -193,7 +223,13 @@ func (d *Octo) TxQueueForCore(c topology.CoreID) int { return int(d.remap[c]) }
 func (d *Octo) onLinkChange(pf int, up bool) {
 	if !up {
 		if d.downPF != -1 {
-			return // single-failure support: ride out the first failure
+			// Single-failure contract (DESIGN.md §10): a second
+			// concurrent PF failure is ridden out, not handled — with
+			// one PF already down there is no healthy limb to remap the
+			// second one's flows onto. Counted so operators can see how
+			// often the contract was actually exercised.
+			d.concurrentIgnored++
+			return
 		}
 		// Collect surviving cores (deterministic order: core id).
 		var survivors []topology.CoreID
@@ -260,32 +296,67 @@ func (d *Octo) post(qp *queuePair, pkt *nic.TxPacket) bool {
 }
 
 // resteerAll re-pushes every installed rule at its (possibly remapped)
-// target, in deterministic 5-tuple order, through the async worker.
-func (d *Octo) resteerAll() {
+// target, in deterministic 5-tuple order, through the async worker,
+// skipping rules already at their target.
+func (d *Octo) resteerAll() { d.resteer(false) }
+
+// replayRules is the firmware-recovery twin of resteerAll: after a
+// table wipe the device-side state is gone, so every journaled rule is
+// re-pushed unconditionally — "unchanged" driver-side state means
+// nothing to a device that forgot it. Returns rules replayed.
+func (d *Octo) replayRules() int { return d.resteer(true) }
+
+// resteer walks the rule journal and pushes updates through the async
+// worker; force re-pushes even rules whose target is unchanged (the
+// firmware-reset repair). Recovery latency is honest either way: each
+// update pays the worker's MPFS delay and CPU cost.
+func (d *Octo) resteer(force bool) int {
 	fts := make([]eth.FiveTuple, 0, len(d.rules))
 	for ft := range d.rules {
 		fts = append(fts, ft)
 	}
 	sortTuples(fts)
+	n := 0
 	for _, ft := range fts {
 		r := d.rules[ft]
 		tc := d.remap[r.core]
 		pf, queue := d.pfIdx[tc], d.rxSlot[tc]
-		if r.pf == pf && r.queue == queue {
+		if !force && r.pf == pf && r.queue == queue {
 			continue
 		}
 		r.pf, r.queue = pf, queue
-		d.rulesResteered++
+		if force {
+			d.rulesReplayed++
+		} else {
+			d.rulesResteered++
+		}
 		d.updatesPushed++
+		n++
 		d.updates.ForcePut(steerUpdate{ft: ft, pf: pf, queue: queue})
 	}
+	return n
 }
+
+// onFwReset is the driver's firmware-reset handler: count it and replay
+// the journal so the wiped IOctoRFS table is rebuilt.
+func (d *Octo) onFwReset() {
+	d.fwResets++
+	d.replayRules()
+}
+
+// defaultMaxParked bounds the parked list when Params.MaxParked is
+// zero: roughly one Tx ring's worth of stranded descriptors.
+const defaultMaxParked = 1024
 
 // repostDropped recovers a Tx segment whose completion came back
 // flagged Dropped: re-post it on the remapped core's queue, or park it
-// until a link transition provides a live one. Always returns true —
-// ownership stays with the driver either way, so napiTx neither
-// recycles the packet nor reports it sent.
+// until a link transition provides a live one. Returns true when the
+// driver took ownership (re-posted or parked), so napiTx neither
+// recycles the packet nor reports it sent; returns false when the
+// parked list is at its cap — the segment is given up to napiTx's
+// normal completion path (freed, OnSent, recycled), modeling a driver
+// that drops the skb during a total outage and lets retransmission
+// recover the data.
 func (d *Octo) repostDropped(qp *queuePair, pkt *nic.TxPacket) bool {
 	if d.post(qp, pkt) {
 		return true
@@ -294,6 +365,14 @@ func (d *Octo) repostDropped(qp *queuePair, pkt *nic.TxPacket) bool {
 	// to the handler) or the target is dead too: park the segment; the
 	// next link transition re-posts it. Ownership stays with the driver,
 	// so napiTx must not recycle it.
+	limit := d.params.MaxParked
+	if limit <= 0 {
+		limit = defaultMaxParked
+	}
+	if len(d.parked) >= limit {
+		d.parkedOverflow++
+		return false
+	}
 	d.parked = append(d.parked, parkedTx{qp: qp, pkt: pkt})
 	return true
 }
@@ -306,6 +385,22 @@ func (d *Octo) Failbacks() uint64 { return d.failbacks }
 
 // Reposted returns Tx segments recovered onto a surviving PF.
 func (d *Octo) Reposted() uint64 { return d.reposted }
+
+// ParkedOverflow returns segments given up at the parked-list cap.
+func (d *Octo) ParkedOverflow() uint64 { return d.parkedOverflow }
+
+// ConcurrentIgnored returns link-down events ridden out under the
+// single-failure contract while another PF's failure was in hand.
+func (d *Octo) ConcurrentIgnored() uint64 { return d.concurrentIgnored }
+
+// FwResets returns firmware resets the driver has handled.
+func (d *Octo) FwResets() uint64 { return d.fwResets }
+
+// RulesReplayed returns journaled rules replayed after table wipes.
+func (d *Octo) RulesReplayed() uint64 { return d.rulesReplayed }
+
+// Parked returns the current parked-descriptor count.
+func (d *Octo) Parked() int { return len(d.parked) }
 
 // UpdatesApplied returns device table writes completed by the worker.
 func (d *Octo) UpdatesApplied() uint64 { return d.updatesApplied }

@@ -79,7 +79,11 @@ type pmdStats struct {
 	emptyPolls uint64 // iterations that found no work in any direction
 	bursts     uint64 // non-empty Rx/Tx bursts processed
 	burstPkts  uint64 // segments across those bursts (occupancy numerator)
-	pollers    []*kernel.Poller
+	// pollers/pollerPairs are indexed by NUMA node (nil/empty for nodes
+	// without queue pairs); the watchdog's PMD fallback needs to know
+	// which pairs a wedged loop owns.
+	pollers     []*kernel.Poller
+	pollerPairs [][]*queuePair
 }
 
 // initDatapath arms the configured poll-mode machinery after the queue
@@ -118,6 +122,8 @@ func (b *base) initDatapath() {
 // that node's queue pairs.
 func (b *base) startPollers() {
 	topo := b.k.Topology()
+	b.pmd.pollers = make([]*kernel.Poller, topo.NumNodes())
+	b.pmd.pollerPairs = make([][]*queuePair, topo.NumNodes())
 	for n := 0; n < topo.NumNodes(); n++ {
 		node := topology.NodeID(n)
 		var pairs []*queuePair
@@ -138,7 +144,8 @@ func (b *base) startPollers() {
 		p := b.k.Core(pollCore).StartPoller(b.name+":node"+strconv.Itoa(n), func() time.Duration {
 			return b.pmdPoll(owned)
 		})
-		b.pmd.pollers = append(b.pmd.pollers, p)
+		b.pmd.pollers[n] = p
+		b.pmd.pollerPairs[n] = owned
 	}
 }
 

@@ -17,6 +17,16 @@ import (
 type Standard struct {
 	base
 	pf *nic.PF
+
+	// rules journals the ARFS programming this driver issued (flow →
+	// queue), so a firmware table wipe can be repaired by replay. ARFS
+	// has no expiry in this driver, matching the firmware side: the
+	// per-PF tables only shrink via RemoveFlow, which nothing calls on
+	// the standard path.
+	rules map[eth.FiveTuple]int
+
+	fwResets      uint64
+	rulesReplayed uint64
 }
 
 var _ netstack.NetDevice = (*Standard)(nil)
@@ -26,12 +36,58 @@ var _ netstack.NetDevice = (*Standard)(nil)
 // homed on each queue's core.
 func NewStandard(k *kernel.Kernel, mem *memsys.System, pf *nic.PF, name string, params Params) *Standard {
 	d := &Standard{
-		base: base{k: k, name: name, params: params},
-		pf:   pf,
+		base:  base{k: k, name: name, params: params},
+		pf:    pf,
+		rules: make(map[eth.FiveTuple]int),
 	}
 	d.buildQueues(mem, func(topology.CoreID) *nic.PF { return pf })
+	// Firmware-reset recovery: replay the journaled ARFS rules after the
+	// async event reaches the handler. The watchdog's stage-1 hook is
+	// the same replay; there is no stage-2 failover — a standard driver
+	// has no second PF to move flows to.
+	pf.NIC().OnFirmwareReset(func() {
+		if delay := d.base.params.LinkEventDelay; delay > 0 {
+			d.k.Engine().After(delay, d.onFwReset)
+			return
+		}
+		d.onFwReset()
+	})
+	if d.base.wd != nil {
+		d.base.wd.fwReplay = d.replayRules
+	}
 	return d
 }
+
+// onFwReset counts the reset and replays the ARFS journal.
+func (d *Standard) onFwReset() {
+	d.fwResets++
+	d.replayRules()
+}
+
+// replayRules reprograms every journaled ARFS rule into the wiped
+// per-PF table, in deterministic 5-tuple order; returns rules replayed.
+func (d *Standard) replayRules() int {
+	fw := d.pf.NIC().Firmware()
+	if fw == nil {
+		return 0
+	}
+	fts := make([]eth.FiveTuple, 0, len(d.rules))
+	for ft := range d.rules {
+		fts = append(fts, ft)
+	}
+	sortTuples(fts)
+	for _, ft := range fts {
+		d.rulesReplayed++
+		fw.ProgramFlow(ft, d.pf.Index(), d.rules[ft])
+	}
+	return len(fts)
+}
+
+// FwResets returns firmware resets the driver has handled.
+func (d *Standard) FwResets() uint64 { return d.fwResets }
+
+// RulesReplayed returns journaled rules replayed after table wipes.
+func (d *Standard) RulesReplayed() uint64 { return d.rulesReplayed }
 
 // Bind attaches the driver to the host stack.
 func (d *Standard) Bind(st *netstack.Stack) { d.bind(st) }
@@ -58,5 +114,6 @@ func (d *Standard) SteerFlow(ft eth.FiveTuple, core topology.CoreID) {
 	if fw == nil {
 		return
 	}
+	d.rules[ft] = int(core)
 	fw.ProgramFlow(ft, d.pf.Index(), int(core))
 }

@@ -64,6 +64,20 @@ const (
 	// starting at At; a Duration longer than the run models the core
 	// going offline.
 	Stall
+	// FirmwareReset wipes the server NIC's steering tables at At: every
+	// programmed flow rule vanishes and SteerRx degrades to the
+	// firmware's fallback (RSS / MAC-only) until the drivers replay
+	// their journaled rules.
+	FirmwareReset
+	// QueueStall freezes completion delivery on one queue pair (PF,
+	// Queue) during [At, At+Duration): DMA still lands and descriptors
+	// are still consumed, but completion writebacks are held
+	// device-side until the window ends or the driver resets the queue.
+	QueueStall
+	// PollerStall wedges the busy-poll loops on server node Node for
+	// Duration starting at At — a hung device read burning the
+	// dedicated poll core (busypoll datapath only).
+	PollerStall
 )
 
 // String names the kind.
@@ -85,6 +99,12 @@ func (k Kind) String() string {
 		return "degrade"
 	case Stall:
 		return "stall"
+	case FirmwareReset:
+		return "fw-reset"
+	case QueueStall:
+		return "queue-stall"
+	case PollerStall:
+		return "poller-stall"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -122,6 +142,10 @@ type Event struct {
 	BWFactor, LatFactor float64
 	// Core is the stall target (Stall).
 	Core topology.CoreID
+	// Queue is the per-PF queue index (QueueStall).
+	Queue int
+	// Node is the server NUMA node whose poll loops wedge (PollerStall).
+	Node topology.NodeID
 }
 
 // Plan is a seeded fault schedule.
@@ -153,6 +177,10 @@ type Targets struct {
 	Fabric *interconnect.Fabric
 	// Kernel takes the core stalls.
 	Kernel *kernel.Kernel
+	// Pollers are the server drivers' busy-poll loops (busypoll
+	// datapath only, empty otherwise); PollerStall wedges every loop
+	// pinned to the targeted node — a hung core hangs all of them.
+	Pollers []*kernel.Poller
 }
 
 // winKey identifies the piece of mutable fault state a windowed event
@@ -176,6 +204,13 @@ func stateKey(ev Event) (winKey, bool) {
 		return winKey{kind: Degrade, a: int(ev.From), b: int(ev.To)}, true
 	case LinkFlap:
 		return winKey{kind: LinkFlap, a: ev.PF}, true
+	case QueueStall:
+		return winKey{kind: QueueStall, a: ev.PF, b: ev.Queue}, true
+	case PollerStall:
+		// A wedge is one long iteration, not a toggle, but two wedges of
+		// the same node's loops inside one window would stack into a
+		// longer outage than either event describes; reject the overlap.
+		return winKey{kind: PollerStall, a: int(ev.Node)}, true
 	default:
 		return winKey{}, false
 	}
@@ -188,6 +223,10 @@ func (k winKey) String() string {
 		return fmt.Sprintf("%s windows on direction %d", k.kind, k.a)
 	case Degrade:
 		return fmt.Sprintf("degrade windows on link %d->%d", k.a, k.b)
+	case QueueStall:
+		return fmt.Sprintf("queue-stall windows on PF %d queue %d", k.a, k.b)
+	case PollerStall:
+		return fmt.Sprintf("poller-stall windows on node %d", k.a)
 	default:
 		return fmt.Sprintf("link-flap windows on PF %d", k.a)
 	}
@@ -320,6 +359,39 @@ func (p *Plan) Validate(tg Targets) error {
 			if ev.Duration <= 0 {
 				return fmt.Errorf("faults: event %d (stall): needs positive duration", i)
 			}
+		case FirmwareReset:
+			if tg.NIC == nil {
+				return fmt.Errorf("faults: event %d (fw-reset): no NIC target", i)
+			}
+		case QueueStall:
+			if tg.NIC == nil {
+				return fmt.Errorf("faults: event %d (queue-stall): no NIC target", i)
+			}
+			if ev.PF < 0 || ev.PF >= len(tg.NIC.PFs()) {
+				return fmt.Errorf("faults: event %d (queue-stall): NIC %s has no PF %d", i, tg.NIC.Name(), ev.PF)
+			}
+			if nq := len(tg.NIC.PF(ev.PF).RxQueues()); ev.Queue < 0 || ev.Queue >= nq {
+				return fmt.Errorf("faults: event %d (queue-stall): PF %d has %d queue pairs, no queue %d",
+					i, ev.PF, nq, ev.Queue)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (queue-stall): needs positive duration", i)
+			}
+		case PollerStall:
+			found := false
+			for _, pl := range tg.Pollers {
+				if pl != nil && pl.Node() == ev.Node {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("faults: event %d (poller-stall): no busy-poll loop on node %d (the busypoll datapath runs one per node; interrupt and hybrid runs have none)",
+					i, ev.Node)
+			}
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (poller-stall): needs positive duration", i)
+			}
 		default:
 			return fmt.Errorf("faults: event %d: unknown kind %d", i, int(ev.Kind))
 		}
@@ -384,6 +456,12 @@ type Injector struct {
 	degrades atomic.Uint64
 	// octolint:shard-shared
 	stalls atomic.Uint64
+	// octolint:shard-shared
+	fwResets atomic.Uint64
+	// octolint:shard-shared
+	queueStalls atomic.Uint64
+	// octolint:shard-shared
+	pollerStalls atomic.Uint64
 }
 
 // engFor picks the engine owning a wire direction's sending side.
@@ -451,6 +529,31 @@ func Arm(plan *Plan, tg Targets) (*Injector, error) {
 				inj.stalls.Add(1)
 				tg.Kernel.Core(ev.Core).Stall(ev.Duration)
 			})
+		case FirmwareReset:
+			tg.Engine.After(ev.At, func() {
+				inj.eventsFired.Add(1)
+				inj.fwResets.Add(1)
+				tg.NIC.ResetFirmware()
+			})
+		case QueueStall:
+			tg.Engine.After(ev.At, func() {
+				inj.eventsFired.Add(1)
+				inj.queueStalls.Add(1)
+				tg.NIC.SetQueueStall(ev.PF, ev.Queue, true)
+			})
+			tg.Engine.After(ev.At+ev.Duration, func() {
+				tg.NIC.SetQueueStall(ev.PF, ev.Queue, false)
+			})
+		case PollerStall:
+			tg.Engine.After(ev.At, func() {
+				inj.eventsFired.Add(1)
+				inj.pollerStalls.Add(1)
+				for _, pl := range tg.Pollers {
+					if pl != nil && pl.Node() == ev.Node {
+						pl.Wedge(ev.Duration)
+					}
+				}
+			})
 		}
 	}
 	return inj, nil
@@ -497,6 +600,15 @@ func (inj *Injector) CorruptDrops() uint64 { return inj.corruptDrops.Load() }
 
 // LinkTransitions returns PF link state flips performed.
 func (inj *Injector) LinkTransitions() uint64 { return inj.linkTransitions.Load() }
+
+// FwResets returns firmware table wipes performed.
+func (inj *Injector) FwResets() uint64 { return inj.fwResets.Load() }
+
+// QueueStalls returns queue-stall windows opened.
+func (inj *Injector) QueueStalls() uint64 { return inj.queueStalls.Load() }
+
+// PollerStalls returns poller wedges injected.
+func (inj *Injector) PollerStalls() uint64 { return inj.pollerStalls.Load() }
 
 // TotalWireDrops returns every frame the injector removed from a wire.
 func (inj *Injector) TotalWireDrops() uint64 {

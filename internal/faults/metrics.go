@@ -14,4 +14,7 @@ func (inj *Injector) RegisterMetrics(r metrics.Registrar) {
 	r.Counter("corrupt_drops", func() float64 { return float64(inj.corruptDrops.Load()) })
 	r.Counter("degrades", func() float64 { return float64(inj.degrades.Load()) })
 	r.Counter("stalls", func() float64 { return float64(inj.stalls.Load()) })
+	r.Counter("fw_resets", func() float64 { return float64(inj.fwResets.Load()) })
+	r.Counter("queue_stalls", func() float64 { return float64(inj.queueStalls.Load()) })
+	r.Counter("poller_stalls", func() float64 { return float64(inj.pollerStalls.Load()) })
 }

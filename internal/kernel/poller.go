@@ -1,6 +1,10 @@
 package kernel
 
-import "time"
+import (
+	"time"
+
+	"ioctopus/internal/topology"
+)
 
 // Poller is a busy-poll loop pinned to a core: the DPDK-style PMD
 // thread. Each iteration runs through the core's ordinary dispatch
@@ -22,6 +26,13 @@ type Poller struct {
 	run     func() time.Duration // cached dispatch wrapper
 	resub   func()               // cached self-resubmission
 	stopped bool
+
+	// wedgeFor is consumed by the next iteration: instead of polling,
+	// the loop burns the core for that long — a hung register read or
+	// firmware doorbell that never returns — then resumes. Set by
+	// Wedge (fault injection).
+	wedgeFor   time.Duration
+	iterations uint64
 }
 
 // StartPoller pins a busy-poll loop to this core. body runs once per
@@ -35,10 +46,19 @@ func (c *Core) StartPoller(name string, body func() time.Duration) *Poller {
 		if p.stopped {
 			return 0
 		}
+		if w := p.wedgeFor; w > 0 {
+			// One pathologically long iteration that never reaches the
+			// rings: the core reads as busy (it is — spinning on a dead
+			// device) but Iterations stays flat, which is exactly the
+			// liveness signal a driver watchdog keys on.
+			p.wedgeFor = 0
+			return w
+		}
 		d := p.body()
 		if d <= 0 {
 			panic("kernel: poller iteration must consume time")
 		}
+		p.iterations++
 		return d
 	}
 	p.resub = func() {
@@ -50,6 +70,24 @@ func (c *Core) StartPoller(name string, body func() time.Duration) *Poller {
 	p.resub()
 	return p
 }
+
+// Wedge hangs the poll loop for d starting at its next dispatch: the
+// core burns the whole duration in a single iteration without touching
+// the rings, then the loop resumes on its own. Subsequent wedges before
+// dispatch accumulate.
+func (p *Poller) Wedge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.wedgeFor += d
+}
+
+// Iterations counts completed (non-wedged) poll iterations — the
+// liveness counter a driver watchdog samples to detect a wedged loop.
+func (p *Poller) Iterations() uint64 { return p.iterations }
+
+// Node is the NUMA node of the core the loop is pinned to.
+func (p *Poller) Node() topology.NodeID { return p.c.node }
 
 // Stop ends the loop: the current iteration (if one is queued or
 // running) completes at zero further cost and nothing is resubmitted.

@@ -29,6 +29,11 @@ type Firmware interface {
 	SingleMAC() bool
 	// SGEnabled reports whether IOctoSG fragment steering is active.
 	SGEnabled() bool
+	// Reset wipes the steering tables — a firmware-level fault, not an
+	// API the host calls. Installed flow rules vanish and SteerRx
+	// degrades to its fallback (RSS / MAC-only) until the host
+	// reprograms them; link state, queues and DMA state survive.
+	Reset()
 }
 
 // StandardFirmware is the shipping multi-PF firmware: the integrated
@@ -116,6 +121,14 @@ func (fw *StandardFirmware) FlowCount() int {
 	return n
 }
 
+// Reset implements Firmware: every PF's ARFS table is wiped; the MPFS
+// MAC and VF steering is burned-in switch configuration and survives.
+func (fw *StandardFirmware) Reset() {
+	for i := range fw.arfs {
+		fw.arfs[i] = make(map[eth.FiveTuple]int)
+	}
+}
+
 // pfQueue is an IOctoRFS table entry.
 type pfQueue struct {
 	pf, queue int
@@ -189,3 +202,8 @@ func (fw *OctoFirmware) RemoveFlow(ft eth.FiveTuple) { delete(fw.table, ft) }
 
 // FlowCount implements Firmware.
 func (fw *OctoFirmware) FlowCount() int { return len(fw.table) }
+
+// Reset implements Firmware: the IOctoRFS table is wiped and every flow
+// degrades to the link-up RSS fallback until the driver replays its
+// rule journal.
+func (fw *OctoFirmware) Reset() { fw.table = make(map[eth.FiveTuple]pfQueue) }

@@ -83,6 +83,10 @@ type NIC struct {
 
 	// linkHooks fire after a PF's link state changes (driver failover).
 	linkHooks []func(pf int, up bool)
+	// fwResetHooks fire after a firmware reset wipes the steering
+	// tables (driver rule replay).
+	fwResetHooks []func()
+	fwResets     uint64
 }
 
 // New builds a NIC over the given PCIe endpoints (one per PF, in PF
@@ -190,6 +194,43 @@ func (n *NIC) SetPFLink(pf int, up bool) {
 	for _, h := range n.linkHooks {
 		h(pf, up)
 	}
+}
+
+// OnFirmwareReset registers a hook invoked after a firmware reset wipes
+// the steering tables; drivers use it to replay their journaled rules.
+func (n *NIC) OnFirmwareReset(hook func()) {
+	n.fwResetHooks = append(n.fwResetHooks, hook)
+}
+
+// ResetFirmware models a firmware-level fault (fault injection): the
+// steering tables are wiped — SteerRx degrades to the firmware's
+// fallback until reprogrammed — while link state, queues and in-flight
+// DMA survive. Hooks run synchronously, so observed recovery latency is
+// purely the drivers' own replay cost.
+func (n *NIC) ResetFirmware() {
+	n.fwResets++
+	if n.fw != nil {
+		n.fw.Reset()
+	}
+	for _, h := range n.fwResetHooks {
+		h()
+	}
+}
+
+// FwResets returns firmware resets suffered.
+func (n *NIC) FwResets() uint64 { return n.fwResets }
+
+// SetQueueStall freezes (or releases) completion delivery on one queue
+// pair (fault injection): both directions of PF pf's queue index q hold
+// their writebacks while stalled. Out-of-range queue indexes panic via
+// PF; callers validate against RxQueues/TxQueues lengths first.
+func (n *NIC) SetQueueStall(pf, queue int, on bool) {
+	p := n.PF(pf)
+	if queue < 0 || queue >= len(p.rxQueues) || queue >= len(p.txQueues) {
+		panic(fmt.Sprintf("nic %s: PF %d has no queue pair %d", n.name, pf, queue))
+	}
+	p.rxQueues[queue].SetStalled(on)
+	p.txQueues[queue].SetStalled(on)
 }
 
 // Receive implements eth.Port: a frame has fully arrived at the port.

@@ -16,11 +16,11 @@ import (
 // recycled exactly once by their final consumer (see pool.go for the
 // ownership contract).
 type RxPacket struct {
-	Queue     *RxQueue
-	Buf       *memsys.Buffer
-	Payload   int64
-	Packets   int
-	Flow      eth.FiveTuple
+	Queue   *RxQueue
+	Buf     *memsys.Buffer
+	Payload int64
+	Packets int
+	Flow    eth.FiveTuple
 	// Seq is the segment's per-flow sequence number, carried from the
 	// wire frame so the stack can detect retransmitted duplicates.
 	Seq       uint64
@@ -46,9 +46,21 @@ func (rxp *RxPacket) runPayloadDone() {
 }
 
 // runCompDone is stage 3: the completion writeback is observable; the
-// segment becomes visible to the driver and may raise an interrupt.
+// segment becomes visible to the driver and may raise an interrupt. A
+// stalled queue holds the writeback device-side instead (fault
+// injection): the segment stays invisible until the stall clears.
 func (rxp *RxPacket) runCompDone() {
 	q := rxp.Queue
+	if q.stalled {
+		q.held = append(q.held, rxp)
+		return
+	}
+	q.deliver(rxp)
+}
+
+// deliver makes one completed segment visible to the driver — the tail
+// of runCompDone, shared with the stall-release flush.
+func (q *RxQueue) deliver(rxp *RxPacket) {
 	q.pf.rxBytes += float64(rxp.Payload)
 	rxp.ArrivedAt = q.pf.nic.eng.Now()
 	q.pending = append(q.pending, rxp)
@@ -79,6 +91,14 @@ type RxQueue struct {
 	polled     bool
 	coalesce   sim.Timer
 	fireFn     func() // cached q.fireInterrupt
+
+	// stalled freezes completion delivery (QueueStall fault): writebacks
+	// that land while stalled are held, in order, until the stall clears
+	// or the driver resets the queue. Held completions still occupy ring
+	// entries — a long stall fills the ring and drops frames, exactly
+	// like real silicon.
+	stalled bool
+	held    []*RxPacket
 
 	drops      uint64
 	delivered  uint64
@@ -135,9 +155,9 @@ func (q *RxQueue) Pending() int { return len(q.pending) - q.pendHead }
 // the frame itself is dead once this returns (the NIC releases it) and
 // the DMA completions are the packet's own cached callbacks.
 func (q *RxQueue) receive(f *eth.Frame) {
-	// Ring occupancy check: completions not yet consumed by the host
-	// hold ring entries.
-	if q.Pending() >= q.compRing.Capacity() {
+	// Ring occupancy check: completions not yet consumed by the host —
+	// including writebacks held by a stalled queue — hold ring entries.
+	if q.Pending()+len(q.held) >= q.compRing.Capacity() {
 		q.drops++
 		q.pf.nic.rxDrops++
 		return
@@ -176,6 +196,39 @@ func (q *RxQueue) SetPolled(on bool) {
 
 // Polled reports whether the queue is in poll-mode operation.
 func (q *RxQueue) Polled() bool { return q.polled }
+
+// SetStalled freezes or releases completion delivery (QueueStall fault
+// injection). Releasing flushes every held writeback in arrival order.
+func (q *RxQueue) SetStalled(on bool) {
+	if q.stalled == on {
+		return
+	}
+	q.stalled = on
+	if !on {
+		q.FlushStalled()
+	}
+}
+
+// Stalled reports whether the queue is holding completions.
+func (q *RxQueue) Stalled() bool { return q.stalled }
+
+// HeldCompletions returns writebacks held by an active stall.
+func (q *RxQueue) HeldCompletions() int { return len(q.held) }
+
+// FlushStalled delivers every held completion now and returns how many
+// there were — the driver-visible effect of a watchdog queue reset
+// (re-initialize the queue, re-post descriptors, recover stranded
+// writebacks). The stall flag itself is device state: if the fault
+// window is still open, new completions stall again and the watchdog
+// escalates.
+func (q *RxQueue) FlushStalled() int {
+	held := q.held
+	q.held = q.held[:0]
+	for _, rxp := range held {
+		q.deliver(rxp)
+	}
+	return len(held)
+}
 
 // maybeInterrupt fires the queue's interrupt respecting poll mode, NAPI
 // gating and the coalescing holdoff.
@@ -319,9 +372,22 @@ func (pkt *TxPacket) runFragDone() {
 }
 
 // runCompDone is the final stage: the completion writeback is
-// observable; the packet waits for the driver's reap.
+// observable; the packet waits for the driver's reap. A stalled queue
+// holds the writeback device-side (fault injection) — the descriptor
+// stays in flight, which is what a driver watchdog's Tx-progress check
+// keys on.
 func (pkt *TxPacket) runCompDone() {
 	q := pkt.q
+	if q.stalled {
+		q.held = append(q.held, pkt)
+		return
+	}
+	q.deliverComp(pkt)
+}
+
+// deliverComp makes one Tx completion visible to the driver — the tail
+// of runCompDone, shared with the stall-release flush.
+func (q *TxQueue) deliverComp(pkt *TxPacket) {
 	q.sent++
 	q.completed = append(q.completed, pkt)
 	q.maybeInterrupt()
@@ -348,6 +414,11 @@ type TxQueue struct {
 	polled     bool
 	coalesce   sim.Timer
 	fireFn     func() // cached q.fireInterrupt
+
+	// stalled/held mirror the Rx side's completion freeze (QueueStall
+	// fault): held writebacks keep their descriptors in flight.
+	stalled bool
+	held    []*TxPacket
 
 	posted     uint64
 	sent       uint64
@@ -383,6 +454,11 @@ func (q *TxQueue) CompletionRing() *device.Ring { return q.compRing }
 
 // InFlight returns descriptors posted but not yet reaped.
 func (q *TxQueue) InFlight() int { return int(q.posted - q.sent) }
+
+// Sent returns completions delivered to the host so far — the
+// monotonic progress counter a driver watchdog samples to detect a
+// stuck queue (posted work whose Sent never advances).
+func (q *TxQueue) Sent() uint64 { return q.sent }
 
 // Post hands a packet to the hardware after the driver has written its
 // descriptor and rung the doorbell (the driver charges those CPU
@@ -484,6 +560,34 @@ func (q *TxQueue) SetPolled(on bool) {
 
 // Polled reports whether the queue is in poll-mode operation.
 func (q *TxQueue) Polled() bool { return q.polled }
+
+// SetStalled mirrors RxQueue.SetStalled for the transmit side.
+func (q *TxQueue) SetStalled(on bool) {
+	if q.stalled == on {
+		return
+	}
+	q.stalled = on
+	if !on {
+		q.FlushStalled()
+	}
+}
+
+// Stalled reports whether the queue is holding completions.
+func (q *TxQueue) Stalled() bool { return q.stalled }
+
+// HeldCompletions returns writebacks held by an active stall.
+func (q *TxQueue) HeldCompletions() int { return len(q.held) }
+
+// FlushStalled delivers every held Tx completion now and returns how
+// many there were; see RxQueue.FlushStalled for the reset semantics.
+func (q *TxQueue) FlushStalled() int {
+	held := q.held
+	q.held = q.held[:0]
+	for _, pkt := range held {
+		q.deliverComp(pkt)
+	}
+	return len(held)
+}
 
 // maybeInterrupt mirrors the Rx side's poll-mode and NAPI gating.
 func (q *TxQueue) maybeInterrupt() {

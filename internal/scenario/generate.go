@@ -123,9 +123,13 @@ func Generate(seed int64) *Spec {
 	// past the previous window's end, dropped if that pushes them past
 	// 70%) so every generated plan passes ValidateSchedule by
 	// construction.
-	kinds := []string{"loss", "burst", "corrupt", "stall"}
+	kinds := []string{"loss", "burst", "corrupt", "stall", "fw-reset", "queue-stall"}
 	if serverSockets >= 2 {
 		kinds = append(kinds, "link-flap", "degrade")
+	}
+	if datapath == "busypoll" {
+		// Only the busypoll datapath runs dedicated poll loops to wedge.
+		kinds = append(kinds, "poller-stall")
 	}
 	drawDir := func() string {
 		// Prefer client->server: the forward stream guarantees that
@@ -137,6 +141,7 @@ func Generate(seed int64) *Spec {
 	}
 	lastEnd := map[string]int{}
 	hasFlap, hasC2S := false, false
+	hasFwReset, hasQueueStall, hasPollerStall := false, false, false
 	nFaults := rng.Intn(5)
 	for i := 0; i < nFaults; i++ {
 		kind := kinds[rng.Intn(len(kinds))]
@@ -173,6 +178,21 @@ func Generate(seed int64) *Spec {
 			f.BWFactor = 0.3 + 0.4*rng.Float64()
 			f.LatFactor = 1.5 + rng.Float64()
 			key = fmt.Sprintf("degrade/%d-%d", f.From, f.To)
+		case "fw-reset":
+			// Instantaneous table wipe; the drivers' journal replay is the
+			// recovery under test.
+			f.DurPct = 0
+		case "queue-stall":
+			// rng.Intn(serverCores) is a valid per-PF queue index in both
+			// modes: the octo driver gives each PF a pair per local core
+			// (serverCores of them) and the standard driver gives its PF a
+			// pair per machine core (serverSockets*serverCores >= that).
+			f.PF = rng.Intn(serverSockets)
+			f.Queue = rng.Intn(serverCores)
+			key = fmt.Sprintf("qstall/%d-%d", f.PF, f.Queue)
+		case "poller-stall":
+			f.Node = rng.Intn(serverSockets)
+			key = fmt.Sprintf("pstall/%d", f.Node)
 		}
 		if key != "" {
 			if end, clash := lastEnd[key]; clash && f.AtPct < end {
@@ -184,12 +204,25 @@ func Generate(seed int64) *Spec {
 			lastEnd[key] = f.AtPct + f.DurPct
 		}
 		sim2.Faults = append(sim2.Faults, f)
-		if kind == "link-flap" {
+		switch kind {
+		case "link-flap":
 			hasFlap = true
+		case "fw-reset":
+			hasFwReset = true
+		case "queue-stall":
+			hasQueueStall = true
+		case "poller-stall":
+			hasPollerStall = true
 		}
 		if (kind == "loss" || kind == "burst" || kind == "corrupt") && f.Dir == "client-to-server" {
 			hasC2S = true
 		}
+	}
+	// A device fault arms the self-healing watchdog: its staged recovery
+	// is the invariant under test (and the poller-stall fallback check is
+	// meaningless without a watchdog to notice the wedge).
+	if hasFwReset || hasQueueStall || hasPollerStall {
+		sim2.Watchdog = &WatchdogSpec{Interval: 500 * time.Microsecond}
 	}
 
 	sim2.Samples = append(sim2.Samples, SampleSpec{Name: "delivered Gb/s", Source: "workload:0"})
@@ -239,6 +272,18 @@ func Generate(seed int64) *Spec {
 	if mode == "ioctopus" && hasFlap {
 		sim2.Checks = append(sim2.Checks,
 			CheckSpec{Kind: "failover-and-back", Name: "driver failed over and back"})
+	}
+	if hasFwReset {
+		sim2.Checks = append(sim2.Checks,
+			CheckSpec{Kind: "fw-recovered", Name: "fw reset: rules replayed and steering restored"})
+	}
+	if hasQueueStall {
+		sim2.Checks = append(sim2.Checks,
+			CheckSpec{Kind: "queue-recovered", Name: "queue stall: no completion left stranded"})
+	}
+	if hasPollerStall {
+		sim2.Checks = append(sim2.Checks,
+			CheckSpec{Kind: "poller-fallback-and-back", Name: "poller stall: fallback to interrupt and back"})
 	}
 	// Wide bounds: a fault inside the pre window legitimately skews the
 	// ratio; the check is a sanity rail against a wedged post-fault

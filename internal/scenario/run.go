@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ioctopus/internal/core"
+	"ioctopus/internal/driver"
 	"ioctopus/internal/eth"
 	"ioctopus/internal/experiments"
 	"ioctopus/internal/kernel"
@@ -135,18 +136,27 @@ func runSim(sp *Spec, d experiments.Durations) (*experiments.Result, error) {
 		stackParams.RetxTimeout = sim2.Retx.Timeout
 		stackParams.RetxMaxTries = sim2.Retx.MaxTries
 	}
+	var drvParams *driver.Params
+	if sim2.Watchdog != nil {
+		dp := driver.DefaultParams()
+		dp.WatchdogInterval = sim2.Watchdog.Interval
+		dp.WatchdogTicks = sim2.Watchdog.Ticks
+		dp.WatchdogBackoff = sim2.Watchdog.Backoff
+		drvParams = &dp
+	}
 
 	cl, err := core.NewClusterE(core.Config{
-		Mode:        mode,
-		EnableSG:    sim2.EnableSG,
-		Wiring:      wiring,
-		Datapath:    datapath,
-		ServerTopo:  serverTopo,
-		ClientTopo:  clientTopo,
-		StackParams: &stackParams,
-		FaultPlan:   sim2.faultPlan(sp.Seed, T),
-		Seed:        sp.Seed,
-		Shards:      experiments.Shards(),
+		Mode:         mode,
+		EnableSG:     sim2.EnableSG,
+		Wiring:       wiring,
+		Datapath:     datapath,
+		ServerTopo:   serverTopo,
+		ClientTopo:   clientTopo,
+		StackParams:  &stackParams,
+		DriverParams: drvParams,
+		FaultPlan:    sim2.faultPlan(sp.Seed, T),
+		Seed:         sp.Seed,
+		Shards:       experiments.Shards(),
 	})
 	if err != nil {
 		return nil, err
@@ -382,6 +392,19 @@ func runSim(sp *Spec, d experiments.Durations) (*experiments.Result, error) {
 				detail = strings.Join(workloadErrs, "; ")
 			}
 			checkTrue(c.Name, len(workloadErrs) == 0, detail)
+		case "fw-recovered":
+			resets, replayed := fwRecovery(cl)
+			checkTrue(c.Name, resets >= 1 && replayed >= 1,
+				fmt.Sprintf("fw resets=%d rules replayed=%d", resets, replayed))
+		case "queue-recovered":
+			held := heldCompletions(cl)
+			wd := watchdogTotals(cl)
+			checkTrue(c.Name, held == 0 && wd.QueueResets >= c.Min,
+				fmt.Sprintf("held completions=%d queue resets=%d", held, wd.QueueResets))
+		case "poller-fallback-and-back":
+			wd := watchdogTotals(cl)
+			checkTrue(c.Name, wd.PollerFallbacks >= 1 && wd.PollerReenters >= 1,
+				fmt.Sprintf("fallbacks=%d reenters=%d", wd.PollerFallbacks, wd.PollerReenters))
 		}
 	}
 	// A workload failure must fail the run even when the spec's author
@@ -443,6 +466,69 @@ func sampleProbe(cl *core.Cluster, source string, streams []*streamState) func()
 	return func() float64 { return pf.RxBytes() * 8 / 1e9 }
 }
 
+// serverDrivers lists the server-side netdevices (one octo driver, or
+// one standard driver per PF).
+func serverDrivers(cl *core.Cluster) []netstack.NetDevice {
+	var devs []netstack.NetDevice
+	for _, d := range []netstack.NetDevice{cl.Dev0, cl.Dev1} {
+		if d != nil {
+			devs = append(devs, d)
+		}
+	}
+	return devs
+}
+
+// fwRecovery sums firmware resets handled and rules replayed across the
+// server drivers (both driver flavors journal and replay).
+func fwRecovery(cl *core.Cluster) (resets, replayed uint64) {
+	for _, d := range serverDrivers(cl) {
+		if fr, ok := d.(interface {
+			FwResets() uint64
+			RulesReplayed() uint64
+		}); ok {
+			resets += fr.FwResets()
+			replayed += fr.RulesReplayed()
+		}
+	}
+	return resets, replayed
+}
+
+// watchdogTotals sums the watchdog counters across the server drivers
+// (zero when the watchdog is disabled).
+func watchdogTotals(cl *core.Cluster) driver.WatchdogStats {
+	var t driver.WatchdogStats
+	for _, d := range serverDrivers(cl) {
+		wd, ok := d.(interface{ WatchdogStats() driver.WatchdogStats })
+		if !ok {
+			continue
+		}
+		s := wd.WatchdogStats()
+		t.Ticks += s.Ticks
+		t.QueueResets += s.QueueResets
+		t.FwReprograms += s.FwReprograms
+		t.PFDead += s.PFDead
+		t.PFRecovered += s.PFRecovered
+		t.PollerFallbacks += s.PollerFallbacks
+		t.PollerReenters += s.PollerReenters
+	}
+	return t
+}
+
+// heldCompletions counts writebacks still stranded device-side across
+// every server NIC queue — the queue-recovered check's failure signal.
+func heldCompletions(cl *core.Cluster) int {
+	var held int
+	for _, pf := range cl.Server.NIC.PFs() {
+		for _, q := range pf.RxQueues() {
+			held += q.HeldCompletions()
+		}
+		for _, q := range pf.TxQueues() {
+			held += q.HeldCompletions()
+		}
+	}
+	return held
+}
+
 // counterValue resolves one counter-table source at end of run.
 func counterValue(cl *core.Cluster, src string, transitions, wireDrops, retx, abandoned uint64) float64 {
 	switch src {
@@ -456,6 +542,28 @@ func counterValue(cl *core.Cluster, src string, transitions, wireDrops, retx, ab
 		return float64(cl.Octo.Failbacks())
 	case "driver/reposted":
 		return float64(cl.Octo.Reposted())
+	case "driver/parked_overflow":
+		return float64(cl.Octo.ParkedOverflow())
+	case "driver/concurrent_ignored":
+		return float64(cl.Octo.ConcurrentIgnored())
+	case "nic/fw_resets":
+		return float64(cl.Server.NIC.FwResets())
+	case "driver/fw_resets":
+		resets, _ := fwRecovery(cl)
+		return float64(resets)
+	case "driver/rules_replayed":
+		_, replayed := fwRecovery(cl)
+		return float64(replayed)
+	case "watchdog/queue_resets":
+		return float64(watchdogTotals(cl).QueueResets)
+	case "watchdog/fw_reprograms":
+		return float64(watchdogTotals(cl).FwReprograms)
+	case "watchdog/pf_dead":
+		return float64(watchdogTotals(cl).PFDead)
+	case "watchdog/poller_fallbacks":
+		return float64(watchdogTotals(cl).PollerFallbacks)
+	case "watchdog/poller_reenters":
+		return float64(watchdogTotals(cl).PollerReenters)
 	case "stack/retx":
 		return float64(retx)
 	case "server/stack/dup":

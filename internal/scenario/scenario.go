@@ -90,6 +90,19 @@ type RetxSpec struct {
 	MaxTries int           `json:"max_tries"`
 }
 
+// WatchdogSpec arms the server drivers' self-healing watchdog (the
+// staged recovery ladder of internal/driver/watchdog.go). Interval is
+// the tick period; Ticks is how many consecutive no-progress samples
+// declare a queue stuck (0 = the driver default of 2); Backoff is the
+// post-action grace period (0 = 2×Interval, doubling per ladder
+// stage). Durations are absolute, like RetxSpec, because recovery
+// cadence is device physics, not a fraction of the run.
+type WatchdogSpec struct {
+	Interval time.Duration `json:"interval_ns"`
+	Ticks    int           `json:"ticks,omitempty"`
+	Backoff  time.Duration `json:"backoff_ns,omitempty"`
+}
+
 // WorkloadSpec is one element of the workload mix, kind-discriminated:
 //
 //   - "stream": a raw TCP byte stream with explicit sink/source thread
@@ -143,6 +156,10 @@ type FaultSpec struct {
 	BWFactor  float64 `json:"bw_factor,omitempty"`
 	LatFactor float64 `json:"lat_factor,omitempty"`
 	Core      int     `json:"core,omitempty"`
+	// Queue names the per-PF queue index of a queue-stall; Node names
+	// the server node whose busy-poll loop a poller-stall wedges.
+	Queue int `json:"queue,omitempty"`
+	Node  int `json:"node,omitempty"`
 }
 
 // SampleSpec tracks one rate series over the run. Sources:
@@ -200,6 +217,14 @@ type RecoverySpec struct {
 //     transactions (> 0).
 //   - "window-ratio": windows[Window] over windows[0] within [Lo, Hi].
 //   - "no-errors": no workload goroutine recorded a failure.
+//   - "fw-recovered": a firmware reset was observed and the journaled
+//     steering rules were replayed (needs a fw-reset fault).
+//   - "queue-recovered": no completion is still stranded device-side at
+//     the end of the run; Min > 0 additionally requires that many
+//     watchdog queue resets (needs a queue-stall fault).
+//   - "poller-fallback-and-back": a wedged poll loop degraded to
+//     interrupt mode and re-entered polling (needs the busypoll
+//     datapath, the watchdog, and a poller-stall fault).
 type CheckSpec struct {
 	Kind     string  `json:"kind"`
 	Name     string  `json:"name"`
@@ -224,6 +249,9 @@ type SimSpec struct {
 	Datapath string `json:"datapath,omitempty"`
 
 	Retx *RetxSpec `json:"retx,omitempty"`
+	// Watchdog arms the driver self-healing ladder; nil keeps the
+	// zero-cost default (no timer armed, no watchdog state).
+	Watchdog *WatchdogSpec `json:"watchdog,omitempty"`
 
 	Workloads []WorkloadSpec `json:"workloads"`
 	Faults    []FaultSpec    `json:"faults,omitempty"`
@@ -268,7 +296,7 @@ func parseWiring(s string) (pcie.Wiring, error) {
 
 // parseFaultKind maps a FaultSpec kind string to the faults package.
 func parseFaultKind(s string) (faults.Kind, error) {
-	for k := faults.LinkDown; k <= faults.Stall; k++ {
+	for k := faults.LinkDown; k <= faults.PollerStall; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -414,6 +442,14 @@ func (sp *Spec) validateSim() error {
 	if sim.Retx != nil && (sim.Retx.Timeout <= 0 || sim.Retx.MaxTries < 1) {
 		return fail("retx needs a positive timeout and at least one try")
 	}
+	if sim.Watchdog != nil {
+		if sim.Watchdog.Interval <= 0 {
+			return fail("watchdog needs a positive interval")
+		}
+		if sim.Watchdog.Ticks < 0 || sim.Watchdog.Backoff < 0 {
+			return fail("watchdog ticks and backoff must be non-negative")
+		}
+	}
 
 	if len(sim.Workloads) == 0 {
 		return fail("sim needs at least one workload")
@@ -519,6 +555,38 @@ func (sp *Spec) validateSim() error {
 			if f.Core < 0 || f.Core >= server.NumCores() {
 				return fail("fault %d (stall): server has no core %d", i, f.Core)
 			}
+		case faults.FirmwareReset:
+			// Any cabled server NIC can take a firmware reset; nothing to
+			// range-check.
+		case faults.QueueStall:
+			if f.PF < 0 || f.PF >= serverPFs {
+				return fail("fault %d (queue-stall): server has no PF %d", i, f.PF)
+			}
+			// Per-PF queue counts are a driver-layout fact: the standard
+			// driver gives its PF one queue pair per machine core, the octo
+			// driver gives each PF one pair per core of its own node.
+			queues := server.NumCores()
+			if sim.Mode == "ioctopus" {
+				queues = len(server.CoresOn(topology.NodeID(f.PF)))
+			}
+			if f.Queue < 0 || f.Queue >= queues {
+				return fail("fault %d (queue-stall): PF %d has queues 0..%d in %s mode, not %d",
+					i, f.PF, queues-1, sim.Mode, f.Queue)
+			}
+			if f.DurPct <= 0 && f.Dur <= 0 {
+				return fail("fault %d (queue-stall): needs a positive duration (the stall is a window)", i)
+			}
+		case faults.PollerStall:
+			if dp != core.DatapathBusyPoll {
+				return fail("fault %d (poller-stall): datapath %q runs no dedicated poll loops (only busypoll does; interrupt and hybrid deliver completions via NAPI)",
+					i, sim.Datapath)
+			}
+			if f.Node < 0 || f.Node >= server.NumNodes() {
+				return fail("fault %d (poller-stall): server has no node %d", i, f.Node)
+			}
+			if f.DurPct <= 0 && f.Dur <= 0 {
+				return fail("fault %d (poller-stall): needs a positive duration (the wedge is a window)", i)
+			}
 		}
 	}
 	// Structural schedule checks (overlapping windows racing for one
@@ -565,8 +633,16 @@ func (sp *Spec) validateSim() error {
 	}
 
 	octo := sim.Mode == "ioctopus"
+	hasFault := func(kind string) bool {
+		for _, f := range sim.Faults {
+			if f.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
 	for i, c := range sim.Counters {
-		if err := validateCounterSource(c.Source, serverPFs, octo); err != nil {
+		if err := validateCounterSource(c.Source, serverPFs, octo, sim.Watchdog != nil); err != nil {
 			return fail("counter %d (%s): %v", i, c.Label, err)
 		}
 	}
@@ -607,6 +683,27 @@ func (sp *Spec) validateSim() error {
 			if c.Lo > c.Hi {
 				return fail("check %d (window-ratio): bounds [%v,%v] inverted", i, c.Lo, c.Hi)
 			}
+		case "fw-recovered":
+			if !hasFault("fw-reset") {
+				return fail("check %d (fw-recovered): no fw-reset fault in the schedule", i)
+			}
+		case "queue-recovered":
+			if !hasFault("queue-stall") {
+				return fail("check %d (queue-recovered): no queue-stall fault in the schedule", i)
+			}
+			if c.Min > 0 && sim.Watchdog == nil {
+				return fail("check %d (queue-recovered): min %d queue resets needs the watchdog armed", i, c.Min)
+			}
+		case "poller-fallback-and-back":
+			if sim.Datapath != "busypoll" {
+				return fail("check %d (poller-fallback-and-back): needs the busypoll datapath", i)
+			}
+			if sim.Watchdog == nil {
+				return fail("check %d (poller-fallback-and-back): needs the watchdog armed (nothing else notices a wedged poll loop)", i)
+			}
+			if !hasFault("poller-stall") {
+				return fail("check %d (poller-fallback-and-back): no poller-stall fault in the schedule", i)
+			}
 		default:
 			return fail("check %d: unknown kind %q", i, c.Kind)
 		}
@@ -615,14 +712,22 @@ func (sp *Spec) validateSim() error {
 }
 
 // validateCounterSource vets one counter-table source string.
-func validateCounterSource(src string, serverPFs int, octo bool) error {
+func validateCounterSource(src string, serverPFs int, octo, watchdog bool) error {
 	switch src {
 	case "faults/link_transitions", "faults/wire_drops", "nic/link_drops",
-		"stack/retx", "server/stack/dup", "stack/abandoned":
+		"stack/retx", "server/stack/dup", "stack/abandoned",
+		"nic/fw_resets", "driver/fw_resets", "driver/rules_replayed":
 		return nil
-	case "driver/failovers", "driver/failbacks", "driver/reposted":
+	case "driver/failovers", "driver/failbacks", "driver/reposted",
+		"driver/parked_overflow", "driver/concurrent_ignored":
 		if !octo {
 			return fmt.Errorf("source %q needs the ioctopus driver", src)
+		}
+		return nil
+	case "watchdog/queue_resets", "watchdog/fw_reprograms", "watchdog/pf_dead",
+		"watchdog/poller_fallbacks", "watchdog/poller_reenters":
+		if !watchdog {
+			return fmt.Errorf("source %q needs the watchdog armed", src)
 		}
 		return nil
 	}
@@ -661,7 +766,9 @@ func (sim *SimSpec) faultPlan(seed int64, T time.Duration) *faults.Plan {
 			Prob: f.Prob,
 			From: topology.NodeID(f.From), To: topology.NodeID(f.To),
 			BWFactor: f.BWFactor, LatFactor: f.LatFactor,
-			Core: topology.CoreID(f.Core),
+			Core:  topology.CoreID(f.Core),
+			Queue: f.Queue,
+			Node:  topology.NodeID(f.Node),
 		}
 		if f.Dir != "" {
 			if d, err := parseDir(f.Dir); err == nil {

@@ -247,3 +247,102 @@ func TestLoadResolvesBuiltinsAndRejectsJunk(t *testing.T) {
 		t.Error("Load accepted a bogus name")
 	}
 }
+
+// TestValidateRejectsDeviceFaults covers the device-failure-domain
+// additions: physically impossible schedules (a poller stall with no
+// poll loop to wedge, a queue index the driver layout never creates)
+// and checks/counters that need machinery the spec did not arm.
+func TestValidateRejectsDeviceFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*scenario.Spec)
+		want string
+	}{
+		{"poller-stall on interrupt datapath", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "poller-stall", Node: 0, AtPct: 30, DurPct: 10})
+		}, "runs no dedicated poll loops"},
+		{"poller-stall unknown node", func(sp *scenario.Spec) {
+			sp.Sim.Datapath = "busypoll"
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "poller-stall", Node: 9, AtPct: 30, DurPct: 10})
+		}, "no node 9"},
+		{"poller-stall without duration", func(sp *scenario.Spec) {
+			sp.Sim.Datapath = "busypoll"
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "poller-stall", Node: 0, AtPct: 30})
+		}, "positive duration"},
+		{"queue-stall unknown pf", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "queue-stall", PF: 9, Queue: 0, AtPct: 30, DurPct: 10})
+		}, "no PF 9"},
+		{"queue-stall queue outside driver layout", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "queue-stall", PF: 0, Queue: 999, AtPct: 30, DurPct: 10})
+		}, "not 999"},
+		{"queue-stall without duration", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "queue-stall", PF: 0, Queue: 0, AtPct: 30})
+		}, "positive duration"},
+		{"overlapping queue stalls same pair", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults,
+				scenario.FaultSpec{Kind: "queue-stall", PF: 0, Queue: 0, AtPct: 30, DurPct: 20},
+				scenario.FaultSpec{Kind: "queue-stall", PF: 0, Queue: 0, AtPct: 40, DurPct: 20})
+		}, "overlapping"},
+		{"watchdog non-positive interval", func(sp *scenario.Spec) {
+			sp.Sim.Watchdog = &scenario.WatchdogSpec{Interval: 0}
+		}, "positive interval"},
+		{"watchdog negative backoff", func(sp *scenario.Spec) {
+			sp.Sim.Watchdog = &scenario.WatchdogSpec{Interval: time.Millisecond, Backoff: -1}
+		}, "non-negative"},
+		{"fw-recovered without fw-reset", func(sp *scenario.Spec) {
+			sp.Sim.Checks = append(sp.Sim.Checks, scenario.CheckSpec{Kind: "fw-recovered", Name: "x"})
+		}, "no fw-reset fault"},
+		{"queue-recovered without queue-stall", func(sp *scenario.Spec) {
+			sp.Sim.Checks = append(sp.Sim.Checks, scenario.CheckSpec{Kind: "queue-recovered", Name: "x"})
+		}, "no queue-stall fault"},
+		{"queue-recovered min without watchdog", func(sp *scenario.Spec) {
+			sp.Sim.Faults = append(sp.Sim.Faults, scenario.FaultSpec{Kind: "queue-stall", PF: 0, Queue: 0, AtPct: 30, DurPct: 10})
+			sp.Sim.Checks = append(sp.Sim.Checks, scenario.CheckSpec{Kind: "queue-recovered", Name: "x", Min: 1})
+		}, "needs the watchdog armed"},
+		{"poller check on interrupt datapath", func(sp *scenario.Spec) {
+			sp.Sim.Checks = append(sp.Sim.Checks, scenario.CheckSpec{Kind: "poller-fallback-and-back", Name: "x"})
+		}, "needs the busypoll datapath"},
+		{"watchdog counter without watchdog", func(sp *scenario.Spec) {
+			sp.Sim.Counters = append(sp.Sim.Counters, scenario.CounterSpec{Label: "x", Source: "watchdog/queue_resets"})
+		}, "needs the watchdog armed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := scenario.Chaos()
+			tc.mut(sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatal("validator accepted a malformed spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGenerateDrawsDeviceFaultKinds: the fuzz generator reaches every
+// device fault kind across a modest seed sweep — and arms the watchdog
+// whenever it schedules one, so the recovery checks it emits can pass.
+func TestGenerateDrawsDeviceFaultKinds(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 120; seed++ {
+		sp := scenario.Generate(seed)
+		hasDev := false
+		for _, f := range sp.Sim.Faults {
+			seen[f.Kind] = true
+			switch f.Kind {
+			case "fw-reset", "queue-stall", "poller-stall":
+				hasDev = true
+			}
+		}
+		if hasDev && sp.Sim.Watchdog == nil {
+			t.Fatalf("seed %d: device fault scheduled without arming the watchdog", seed)
+		}
+	}
+	for _, kind := range []string{"fw-reset", "queue-stall", "poller-stall"} {
+		if !seen[kind] {
+			t.Errorf("120 seeds never drew fault kind %q", kind)
+		}
+	}
+}

@@ -21,7 +21,9 @@ go run ./cmd/octolint
 # The race pass covers the sharded engine: internal/sim carries the
 # Group unit tests and internal/experiments carries TestShardDeterminism,
 # which runs fig2 + chaos on concurrent shard goroutines.
-go test -race ./internal/sim/... ./internal/metrics/... ./internal/experiments/... ./internal/faults/...
+# internal/driver rides along for the watchdog: its ladder and poller
+# fallback tests exercise the recovery timers under the race detector.
+go test -race ./internal/sim/... ./internal/metrics/... ./internal/experiments/... ./internal/faults/... ./internal/driver/...
 go test ./...
 
 # JSON schema gate: emit a real report and require it to validate.
@@ -58,6 +60,19 @@ go run ./cmd/ioctobench -fig pmd -quick -json "$tmp/pmd_serial.json" > "$tmp/pmd
 go run ./cmd/ioctobench -fig pmd -quick -shards 2 -json "$tmp/pmd_sharded.json" > "$tmp/pmd_sharded.txt"
 cmp "$tmp/pmd_serial.txt" "$tmp/pmd_sharded.txt"
 cmp "$tmp/pmd_serial.json" "$tmp/pmd_sharded.json"
+
+# Device-chaos determinism gate: the firmware-reset / queue-stall /
+# poller-stall sweep (hidden like pmd, so `-fig all` goldens are
+# untouched) exercises every watchdog ladder rung and the PMD fallback
+# path. Its recovery latencies must be a pure function of the seed:
+# byte-identical across a double run and serial vs sharded.
+go run ./cmd/ioctobench -fig devchaos -quick -json "$tmp/dev1.json" > "$tmp/dev1.txt"
+go run ./cmd/ioctobench -fig devchaos -quick -json "$tmp/dev2.json" > "$tmp/dev2.txt"
+cmp "$tmp/dev1.txt" "$tmp/dev2.txt"
+cmp "$tmp/dev1.json" "$tmp/dev2.json"
+go run ./cmd/ioctobench -fig devchaos -quick -shards 2 -json "$tmp/dev_sharded.json" > "$tmp/dev_sharded.txt"
+cmp "$tmp/dev1.txt" "$tmp/dev_sharded.txt"
+cmp "$tmp/dev1.json" "$tmp/dev_sharded.json"
 
 # Scenario parity gate: the declarative specs must reproduce the
 # hand-wired runners byte for byte — -scenario fig2/chaos is the same
